@@ -1,0 +1,26 @@
+package bitdew_test
+
+import (
+	"testing"
+
+	"bitdew/internal/protocols/httpx"
+	"bitdew/internal/repository"
+)
+
+// benchTransferFixture serves one in-memory backend over HTTP for the
+// transfer benchmarks.
+type benchTransferFixture struct {
+	backend  *repository.MemBackend
+	httpAddr string
+}
+
+func newBenchTransferFixture(b *testing.B) *benchTransferFixture {
+	b.Helper()
+	backend := repository.NewMemBackend()
+	srv, err := httpx.NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return &benchTransferFixture{backend: backend, httpAddr: srv.Addr()}
+}

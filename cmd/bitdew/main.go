@@ -1,0 +1,168 @@
+// Command bitdew is the command-line tool of the BitDew runtime (the
+// "Command-line Tool" box of the paper's Figure 1): put and get files in
+// the data space, attach attributes, and inspect the system.
+//
+// Usage:
+//
+//	bitdew -service HOST:PORT put <file> [attr-definition]
+//	bitdew -service HOST:PORT get <name> <outfile>
+//	bitdew -service HOST:PORT ls
+//	bitdew -service HOST:PORT schedule <name> <attr-definition>
+//	bitdew -service HOST:PORT delete <name>
+//	bitdew -service HOST:PORT status
+//
+// Example:
+//
+//	bitdew put genome.tar.gz 'attr Genebase = { replica = -1, oob = bittorrent }'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/core"
+)
+
+func main() {
+	service := flag.String("service", "127.0.0.1:4567", "service host rpc address")
+	host := flag.String("host", "bitdew-cli", "client host identity")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	comms, err := core.Connect(*service)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *service, err)
+	}
+	defer comms.Close()
+	node, err := core.NewNode(core.NodeConfig{Host: *host, Comms: comms})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node.SetClientOnly(true)
+
+	switch args[0] {
+	case "put":
+		cmdPut(node, args[1:])
+	case "get":
+		cmdGet(node, args[1:])
+	case "ls":
+		cmdLs(node)
+	case "schedule":
+		cmdSchedule(node, args[1:])
+	case "delete":
+		cmdDelete(node, args[1:])
+	case "status":
+		cmdStatus(node)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bitdew [-service addr] put|get|ls|schedule|delete|status ...")
+	os.Exit(2)
+}
+
+func cmdPut(node *core.Node, args []string) {
+	if len(args) < 1 {
+		log.Fatal("put: missing file")
+	}
+	d, err := node.BitDew.CreateDataFromFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, err := os.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.BitDew.Put(d, content); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("put %s\n", d)
+	if len(args) >= 2 {
+		a, err := attr.Parse(args[1])
+		if err != nil {
+			log.Fatalf("attribute: %v", err)
+		}
+		if err := node.ActiveData.Schedule(*d, a); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scheduled with %s\n", a)
+	}
+}
+
+func cmdGet(node *core.Node, args []string) {
+	if len(args) != 2 {
+		log.Fatal("get: want <name> <outfile>")
+	}
+	d, err := node.BitDew.SearchDataFirst(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.BitDew.GetFile(d, args[1]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("got %s -> %s (%d bytes)\n", d.Name, args[1], d.Size)
+}
+
+func cmdLs(node *core.Node) {
+	ds, err := node.BitDew.AllData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range ds {
+		fmt.Printf("%-36s %-24s %12d  %s\n", d.UID, d.Name, d.Size, d.Checksum)
+	}
+	fmt.Printf("%d data in the space\n", len(ds))
+}
+
+func cmdSchedule(node *core.Node, args []string) {
+	if len(args) != 2 {
+		log.Fatal("schedule: want <name> <attr-definition>")
+	}
+	d, err := node.BitDew.SearchDataFirst(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := attr.Parse(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.ActiveData.Schedule(d, a); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %s with %s\n", d.Name, a)
+}
+
+func cmdDelete(node *core.Node, args []string) {
+	if len(args) != 1 {
+		log.Fatal("delete: want <name>")
+	}
+	d, err := node.BitDew.SearchDataFirst(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.BitDew.DeleteData(d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted %s\n", d.Name)
+}
+
+func cmdStatus(node *core.Node) {
+	ds, err := node.BitDew.AllData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data space: %d data\n", len(ds))
+	var total int64
+	for _, d := range ds {
+		total += d.Size
+	}
+	fmt.Printf("total content: %d bytes\n", total)
+}

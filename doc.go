@@ -1,0 +1,17 @@
+// Package bitdew is a from-scratch Go implementation of BitDew, the
+// programmable environment for large-scale data management and
+// distribution on Desktop Grids (Fedak, He, Cappello — INRIA RR-6427 /
+// SC'08).
+//
+// The library lives under internal/: the public programming interfaces
+// (BitDew, ActiveData, TransferManager) are in internal/core, the runtime
+// services (Data Catalog, Data Repository, Data Transfer, Data Scheduler)
+// in their own packages, and the back-ends (database engines, transfer
+// protocols, DHT) below them. See README.md for the architecture tour,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate the paper's tables on the
+// real components and its figures on the simulated testbeds; the
+// cmd/bench-tables binary prints them in the paper's row/column format.
+package bitdew

@@ -1,0 +1,113 @@
+// Mapreduce: the distributed MapReduce abstraction the paper's conclusion
+// proposes as future work, layered on BitDew's data-driven master/worker
+// framework. A word-count over a corpus: splits scatter to workers as map
+// tasks, intermediate pairs shuffle through the data space, reduce tasks
+// fold the counts, and everything is cleaned by deleting the Collector.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bitdew/internal/collective"
+	"bitdew/internal/core"
+	"bitdew/internal/mw"
+	"bitdew/internal/runtime"
+)
+
+const corpus = `
+the desktop grid uses the idle resources of desktop computers
+the data grid moves the data to the computation
+bitdew bridges the desktop grid and the data grid
+attributes drive replication placement lifetime and transfers
+the scheduler places the data and the workers react to the data
+`
+
+func main() {
+	services, err := runtime.NewContainer(runtime.ContainerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer services.Close()
+
+	mnode, err := core.NewNode(core.NodeConfig{Host: "master", Comms: core.ConnectLocal(services.Mux)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	master, err := mw.NewMaster(mnode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Word-count map and reduce functions, installed on every worker.
+	mapFn := func(split []byte, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(string(split)) {
+			emit(strings.ToLower(w), []byte("1"))
+		}
+		return nil
+	}
+	reduceFn := func(key string, values [][]byte) ([]byte, error) {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return nil, err
+			}
+			total += n
+		}
+		return []byte(strconv.Itoa(total)), nil
+	}
+	for i := 0; i < 3; i++ {
+		wn, err := core.NewNode(core.NodeConfig{
+			Host:       fmt.Sprintf("worker-%d", i),
+			Comms:      core.ConnectLocal(services.Mux),
+			SyncPeriod: 20 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mw.NewWorker(wn, nil, collective.WorkerFunc(mapFn, reduceFn))
+		wn.Start()
+		defer wn.Stop()
+	}
+
+	// One map split per corpus line, four reduce partitions.
+	var splits [][]byte
+	for _, line := range strings.Split(strings.TrimSpace(corpus), "\n") {
+		splits = append(splits, []byte(line))
+	}
+	counts, err := collective.RunMapReduce(master, "wordcount", splits, 4, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type wc struct {
+		word  string
+		count int
+	}
+	var table []wc
+	for w, c := range counts {
+		n, _ := strconv.Atoi(string(c))
+		table = append(table, wc{w, n})
+	}
+	sort.Slice(table, func(i, j int) bool {
+		if table[i].count != table[j].count {
+			return table[i].count > table[j].count
+		}
+		return table[i].word < table[j].word
+	})
+	fmt.Printf("word count over %d splits (%d distinct words):\n", len(splits), len(table))
+	for _, e := range table[:8] {
+		fmt.Printf("  %-12s %d\n", e.word, e.count)
+	}
+	if err := master.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mapreduce complete")
+}

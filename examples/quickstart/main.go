@@ -1,0 +1,86 @@
+// Quickstart: the smallest complete BitDew program.
+//
+// It starts the runtime services in-process, creates a datum, puts content
+// into the data space, tags it with an attribute that broadcasts it over
+// HTTP, and watches two reservoir hosts receive it through the pull model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitdew/internal/core"
+	"bitdew/internal/runtime"
+)
+
+func main() {
+	// A service container bundles the four D* services (Data Catalog,
+	// Data Repository, Data Transfer, Data Scheduler) plus the transfer
+	// protocol servers. Addr "" keeps everything in-process.
+	services, err := runtime.NewContainer(runtime.ContainerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer services.Close()
+
+	// The client node: attach, create a datum, put content.
+	client, err := core.NewNode(core.NodeConfig{
+		Host:  "client",
+		Comms: core.ConnectLocal(services.Mux),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.SetClientOnly(true)
+
+	d, err := client.BitDew.CreateData("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.BitDew.Put(d, []byte("hello, data space")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("put: %s\n", d)
+
+	// Tag it: one instance on every node, distributed over HTTP.
+	a, err := client.ActiveData.CreateAttribute("attr greeting = { replica = -1, oob = http }")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.ActiveData.Schedule(*d, a); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled: %s\n", a)
+
+	// Two reservoir hosts join and pull. The runtime does the rest: the
+	// scheduler assigns the datum, the transfer engine fetches it out-of-
+	// band, the MD5 is verified, and the copy event fires.
+	for i := 1; i <= 2; i++ {
+		worker, err := core.NewNode(core.NodeConfig{
+			Host:  fmt.Sprintf("worker-%d", i),
+			Comms: core.ConnectLocal(services.Mux),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		worker.ActiveData.AddCallback(core.EventHandler{
+			OnDataCopy: func(e core.Event) {
+				content, _ := worker.Backend().Get(string(e.Data.UID))
+				fmt.Printf("%s received %q -> %q\n", worker.Host, e.Data.Name, content)
+			},
+		})
+		if err := worker.SyncWait(2); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Search works from any node.
+	found, err := client.BitDew.SearchDataFirst("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search: found %s with checksum %.8s\n", found.Name, found.Checksum)
+	fmt.Println("quickstart complete")
+}

@@ -1,0 +1,164 @@
+// Updater: the paper's running example (Listings 1 and 2) end to end,
+// over real TCP loopback connections.
+//
+// One master node copies an update file to every node in the network over
+// the collaborative protocol and maintains the list of nodes that applied
+// it: each updatee reacts to the update's data-copy event by scheduling a
+// small "host" datum whose affinity points at a Collector pinned on the
+// master, so the acknowledgements flow back automatically.
+//
+//	go run ./examples/updater
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/core"
+	"bitdew/internal/runtime"
+)
+
+const updatees = 4
+
+func main() {
+	// Stable node: the service container, reachable over TCP.
+	services, err := runtime.NewContainer(runtime.ContainerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer services.Close()
+	fmt.Printf("services at %s\n", services.Addr())
+
+	// ---- Master (the Updater of Listing 1) ----
+	comms, err := core.Connect(services.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer comms.Close()
+	master, err := core.NewNode(core.NodeConfig{Host: "updater", Comms: comms})
+	if err != nil {
+		log.Fatal(err)
+	}
+	master.SetClientOnly(true)
+
+	// The big file to push everywhere.
+	payload := make([]byte, 2_000_000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	update, err := master.BitDew.CreateData("big_data_to_update")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := master.BitDew.Put(update, payload); err != nil {
+		log.Fatal(err)
+	}
+	// Listing 1's attribute: send to every node over BitTorrent, expire
+	// after 30 days.
+	updateAttr, err := master.ActiveData.CreateAttribute(
+		"attr update = { replicat = -1, oob = bittorrent, abstime = 2592000 }")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := master.ActiveData.Schedule(*update, updateAttr); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Collector gathering acknowledgements (Listing 2's affinity sink).
+	collector, err := master.BitDew.CreateData("collector")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := master.ActiveData.Pin(*collector, attr.Attribute{Name: "collector"}); err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var updated []string
+	master.ActiveData.AddCallback(core.EventHandler{
+		OnDataCopy: func(e core.Event) {
+			if e.Attr.Name == "host" {
+				mu.Lock()
+				updated = append(updated, e.Data.Name)
+				mu.Unlock()
+			}
+		},
+	})
+
+	// ---- Updatees (Listing 2) ----
+	var nodes []*core.Node
+	for i := 0; i < updatees; i++ {
+		wcomms, err := core.Connect(services.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wcomms.Close()
+		w, err := core.NewNode(core.NodeConfig{Host: fmt.Sprintf("updatee-%d", i), Comms: wcomms})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.ActiveData.AddCallback(core.EventHandler{
+			OnDataCopy: updateeHandler(w),
+			OnDataDelete: func(e core.Event) {
+				if e.Attr.Name == "update" {
+					fmt.Printf("%s: update file deleted\n", w.Host)
+				}
+			},
+		})
+		nodes = append(nodes, w)
+	}
+
+	// Drive the pull model: updatees fetch the update and push back acks,
+	// then the master's sync collects them through affinity.
+	for _, w := range nodes {
+		if err := w.SyncWait(2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := master.SyncWait(3); err != nil {
+		log.Fatal(err)
+	}
+
+	mu.Lock()
+	sort.Strings(updated)
+	fmt.Printf("updated hosts (%d/%d): %v\n", len(updated), updatees, updated)
+	mu.Unlock()
+	if len(updated) != updatees {
+		log.Fatal("not every updatee acknowledged")
+	}
+	fmt.Println("network file update complete")
+}
+
+// updateeHandler is Listing 2's UpdateeHandler: on receiving the update,
+// install it and send the host name back to the collector.
+func updateeHandler(w *core.Node) func(core.Event) {
+	return func(e core.Event) {
+		if e.Attr.Name != "update" {
+			return
+		}
+		fmt.Printf("%s: installed update %q (%d bytes)\n", w.Host, e.Data.Name, e.Data.Size)
+		collector, err := w.BitDew.SearchDataFirst("collector")
+		if err != nil {
+			log.Printf("%s: no collector: %v", w.Host, err)
+			return
+		}
+		hostData, err := w.BitDew.CreateData(w.Host)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		if err := w.BitDew.Put(hostData, []byte(w.Host)); err != nil {
+			log.Print(err)
+			return
+		}
+		err = w.ActiveData.Schedule(*hostData, attr.Attribute{
+			Name: "host", Replica: 1, Protocol: "http",
+			Affinity: string(collector.UID),
+		})
+		if err != nil {
+			log.Print(err)
+		}
+	}
+}

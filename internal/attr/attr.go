@@ -1,0 +1,124 @@
+// Package attr implements BitDew data attributes and the small attribute
+// definition language used throughout the paper (Listings 1 and 3).
+//
+// Attributes are the heart of BitDew's programming model: instead of issuing
+// explicit host-to-host transfers, a programmer tags each datum with a set of
+// attributes and the runtime environment interprets them to drive data life
+// cycle, placement, replication and fault tolerance (paper §3.2).
+//
+// Five attributes are defined:
+//
+//	replica            how many live instances of the datum should exist
+//	fault tolerance    reschedule replicas lost to host crashes
+//	lifetime           absolute duration, or relative to another datum
+//	affinity           placement dependency on another datum
+//	transfer protocol  hint for the out-of-band transfer protocol
+package attr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ReplicaAll is the special replica value meaning "distribute to every node
+// in the network" (the paper writes it as replica = -1).
+const ReplicaAll = -1
+
+// Attribute is the set of metadata driving the runtime's treatment of one
+// datum. The zero value is a valid attribute: one replica, not fault
+// tolerant, infinite lifetime, no affinity, default protocol.
+type Attribute struct {
+	// Name identifies the attribute; life-cycle event handlers dispatch on
+	// it (see the Updater example in the paper, Listing 2).
+	Name string
+
+	// Replica is the number of simultaneous instances wanted in the system,
+	// or ReplicaAll for a broadcast to every node. Zero is normalised to 1.
+	Replica int
+
+	// FaultTolerant requests that replicas lost to a host crash be
+	// rescheduled so the live count returns to Replica.
+	FaultTolerant bool
+
+	// LifetimeAbs is an absolute time-to-live after scheduling; zero means
+	// no absolute expiry.
+	LifetimeAbs time.Duration
+
+	// LifetimeRel names another datum (by name or UID); when that datum is
+	// deleted this one becomes obsolete. Empty means no relative lifetime.
+	LifetimeRel string
+
+	// Affinity names another datum; this datum is scheduled onto every host
+	// holding the named datum. Affinity is stronger than Replica (§3.2).
+	Affinity string
+
+	// Protocol is the preferred out-of-band transfer protocol ("ftp",
+	// "http", "bittorrent"). Empty selects the runtime default.
+	Protocol string
+
+	// Pinned marks the datum as owned by a specific node; the scheduler
+	// must not count the pinning node against Replica nor delete it there.
+	Pinned bool
+}
+
+// Default returns the attribute applied to data scheduled with no explicit
+// attribute: a single, non fault-tolerant replica with no lifetime bound.
+func Default() Attribute { return Attribute{Name: "default", Replica: 1} }
+
+// Normalize returns a copy of a with zero fields replaced by their defaults.
+func (a Attribute) Normalize() Attribute {
+	if a.Replica == 0 {
+		a.Replica = 1
+	}
+	return a
+}
+
+// WantsBroadcast reports whether the attribute requests distribution to
+// every node (replica = -1).
+func (a Attribute) WantsBroadcast() bool { return a.Replica == ReplicaAll }
+
+// HasLifetime reports whether the attribute carries any lifetime bound.
+func (a Attribute) HasLifetime() bool { return a.LifetimeAbs > 0 || a.LifetimeRel != "" }
+
+// String renders the attribute in the paper's definition language; the
+// result round-trips through Parse.
+func (a Attribute) String() string {
+	var parts []string
+	if a.Replica != 0 && a.Replica != 1 {
+		parts = append(parts, fmt.Sprintf("replica = %d", a.Replica))
+	}
+	if a.FaultTolerant {
+		parts = append(parts, "fault_tolerance = true")
+	}
+	if a.LifetimeAbs > 0 {
+		parts = append(parts, fmt.Sprintf("abstime = %d", int64(a.LifetimeAbs/time.Second)))
+	}
+	if a.LifetimeRel != "" {
+		parts = append(parts, fmt.Sprintf("lifetime = %q", a.LifetimeRel))
+	}
+	if a.Affinity != "" {
+		parts = append(parts, fmt.Sprintf("affinity = %q", a.Affinity))
+	}
+	if a.Protocol != "" {
+		parts = append(parts, fmt.Sprintf("oob = %q", a.Protocol))
+	}
+	if a.Pinned {
+		parts = append(parts, "pinned = true")
+	}
+	return fmt.Sprintf("attr %s = { %s }", a.Name, strings.Join(parts, ", "))
+}
+
+// Validate reports the first semantic problem with the attribute, or nil.
+func (a Attribute) Validate() error {
+	if a.Replica < ReplicaAll {
+		return fmt.Errorf("attr %s: replica %d out of range (minimum is -1)", a.Name, a.Replica)
+	}
+	if a.LifetimeAbs < 0 {
+		return fmt.Errorf("attr %s: negative absolute lifetime %v", a.Name, a.LifetimeAbs)
+	}
+	if a.Affinity != "" && a.Affinity == a.Name {
+		return fmt.Errorf("attr %s: affinity to itself", a.Name)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package attr
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseUpdaterExample(t *testing.T) {
+	// Listing 1 of the paper (spelling "replicat" included).
+	a, err := Parse("attr update = { replicat =-1, oob = bittorrent, abstime=43200}")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a.Name != "update" {
+		t.Errorf("Name = %q, want update", a.Name)
+	}
+	if !a.WantsBroadcast() {
+		t.Errorf("Replica = %d, want broadcast (-1)", a.Replica)
+	}
+	if a.Protocol != "bittorrent" {
+		t.Errorf("Protocol = %q, want bittorrent", a.Protocol)
+	}
+	if a.LifetimeAbs != 43200*time.Second {
+		t.Errorf("LifetimeAbs = %v, want 43200s", a.LifetimeAbs)
+	}
+}
+
+func TestParseBlastListing(t *testing.T) {
+	// Listing 3 of the paper, lightly normalised.
+	src := `
+attribute Application = { replication = -1, protocol = "bittorrent" }
+attribute Genebase = { protocol = "bittorrent", lifetime = Collector, affinity = Sequence }
+attribute Sequence = { fault tolerance = true, protocol = "http", lifetime = Collector, replication = 2 }
+attribute Result = { protocol = "http", affinity = Collector, lifetime = Collector }
+Collector attribute { }
+`
+	attrs, err := ParseAll(src)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(attrs) != 5 {
+		t.Fatalf("got %d attributes, want 5", len(attrs))
+	}
+	byName := map[string]Attribute{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	if g := byName["Genebase"]; g.Affinity != "Sequence" || g.LifetimeRel != "Collector" {
+		t.Errorf("Genebase = %+v, want affinity Sequence, lifetime Collector", g)
+	}
+	if s := byName["Sequence"]; !s.FaultTolerant || s.Replica != 2 || s.Protocol != "http" {
+		t.Errorf("Sequence = %+v", s)
+	}
+	if app := byName["Application"]; !app.WantsBroadcast() {
+		t.Errorf("Application = %+v, want broadcast", app)
+	}
+	if c := byName["Collector"]; c.Replica != 1 {
+		t.Errorf("Collector replica = %d, want default 1", c.Replica)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	attrs, err := ParseAll("# leading comment\nattr a = { replica = 3 } # trailing\n")
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(attrs) != 1 || attrs[0].Replica != 3 {
+		t.Fatalf("got %+v", attrs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // empty
+		"attr = { }",                       // missing name (= parses as name... ensure error)
+		"attr a = { bogus = 1 }",           // unknown key
+		"attr a = { replica = many }",      // non-integer replica
+		"attr a = { replica = 1",           // unterminated
+		"attr a = { ft = 3 }",              // non-boolean ft
+		"attr a = { affinity = a }",        // self affinity
+		"attr a = { replica = -2 }",        // out of range
+		"attr a = { abstime = soon }",      // non-integer abstime
+		"attr a = { replica = 1 } trailer", // trailing garbage (Parse only)
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseQuotedAndBareEquivalent(t *testing.T) {
+	q, err := Parse(`attr a = { oob = "ftp" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`attr a = { oob = ftp }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Protocol != b.Protocol {
+		t.Errorf("quoted %q != bare %q", q.Protocol, b.Protocol)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := Attribute{
+		Name: "Genebase", Replica: 4, FaultTolerant: true,
+		LifetimeAbs: 90 * time.Second, LifetimeRel: "Collector",
+		Affinity: "Sequence", Protocol: "bittorrent", Pinned: true,
+	}
+	out, err := Parse(in.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in.String(), err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: in %+v out %+v", in, out)
+	}
+}
+
+// genAttribute builds a random valid attribute for property testing.
+func genAttribute(r *rand.Rand) Attribute {
+	names := []string{"update", "Genebase", "Sequence", "Result", "x1", "data-2"}
+	protos := []string{"", "ftp", "http", "bittorrent"}
+	refs := []string{"", "Collector", "other"}
+	a := Attribute{
+		Name:          names[r.Intn(len(names))],
+		Replica:       r.Intn(12) - 1,
+		FaultTolerant: r.Intn(2) == 0,
+		LifetimeAbs:   time.Duration(r.Intn(4000)) * time.Second,
+		LifetimeRel:   refs[r.Intn(len(refs))],
+		Affinity:      refs[r.Intn(len(refs))],
+		Protocol:      protos[r.Intn(len(protos))],
+		Pinned:        r.Intn(2) == 0,
+	}
+	if a.Replica == 0 {
+		a.Replica = 1
+	}
+	if a.Affinity == a.Name {
+		a.Affinity = ""
+	}
+	return a
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a := genAttribute(rand.New(rand.NewSource(seed)))
+		parsed, err := Parse(a.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", a.String(), err)
+			return false
+		}
+		return reflect.DeepEqual(a, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		// Must never panic, whatever the input.
+		_, _ = Parse(s)
+		_, _ = ParseAll(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Attribute{Name: "n"}
+	if got := a.Normalize().Replica; got != 1 {
+		t.Errorf("Normalize Replica = %d, want 1", got)
+	}
+	a.Replica = ReplicaAll
+	if got := a.Normalize().Replica; got != ReplicaAll {
+		t.Errorf("Normalize broadcast Replica = %d, want -1", got)
+	}
+}
+
+func TestHasLifetime(t *testing.T) {
+	if (Attribute{}).HasLifetime() {
+		t.Error("zero attribute should have no lifetime")
+	}
+	if !(Attribute{LifetimeAbs: time.Second}).HasLifetime() {
+		t.Error("abs lifetime not detected")
+	}
+	if !(Attribute{LifetimeRel: "c"}).HasLifetime() {
+		t.Error("rel lifetime not detected")
+	}
+}
+
+func TestDefault(t *testing.T) {
+	d := Default()
+	if d.Replica != 1 || d.FaultTolerant || d.HasLifetime() {
+		t.Errorf("Default() = %+v", d)
+	}
+}
+
+func TestStringContainsLanguageKeyword(t *testing.T) {
+	s := (Attribute{Name: "a", Replica: 2}).String()
+	if !strings.HasPrefix(s, "attr a = {") {
+		t.Errorf("String() = %q", s)
+	}
+}

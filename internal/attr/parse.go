@@ -1,0 +1,272 @@
+package attr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse parses one attribute definition in the paper's language, e.g.
+//
+//	attr update = { replica = -1, oob = bittorrent, abstime = 43200 }
+//	attribute Sequence = { fault tolerance = true, protocol = "http",
+//	                       lifetime = Collector, replication = x }
+//
+// The published listings are not entirely consistent (replica / replicat /
+// replication; oob / protocol; "fault tolerance" with a space), so the
+// grammar is deliberately tolerant: both keywords attr and attribute are
+// accepted, keys are case-insensitive and several spellings are honoured.
+// Values may be integers, booleans, bare words or quoted strings.
+func Parse(src string) (Attribute, error) {
+	p := &parser{src: src}
+	a, err := p.parseAttr()
+	if err != nil {
+		return Attribute{}, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Attribute{}, fmt.Errorf("attr: trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	if err := a.Validate(); err != nil {
+		return Attribute{}, err
+	}
+	return a, nil
+}
+
+// ParseAll parses a sequence of attribute definitions, as in the BLAST
+// attribute file of paper §5 (Listing 3). Definitions are separated by
+// whitespace or newlines; lines starting with '#' are comments.
+func ParseAll(src string) ([]Attribute, error) {
+	var out []Attribute
+	p := &parser{src: stripComments(src)}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return out, nil
+		}
+		a, err := p.parseAttr()
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+}
+
+func stripComments(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, '#'); idx >= 0 {
+			lines[i] = l[:idx]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool     { return p.pos >= len(p.src) }
+func (p *parser) rest() string  { return p.src[p.pos:] }
+func (p *parser) peek() byte    { return p.src[p.pos] }
+func (p *parser) advance() byte { b := p.src[p.pos]; p.pos++; return b }
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.peek())) {
+		p.pos++
+	}
+}
+
+func (p *parser) word() string {
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.peek())
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) expect(b byte) error {
+	p.skipSpace()
+	if p.eof() || p.peek() != b {
+		return fmt.Errorf("attr: expected %q at offset %d (near %q)", string(b), p.pos, p.near())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) near() string {
+	end := p.pos + 12
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}
+
+func (p *parser) parseAttr() (Attribute, error) {
+	p.skipSpace()
+	kw := p.word()
+	var name string
+	switch strings.ToLower(kw) {
+	case "attr", "attribute":
+		p.skipSpace()
+		name = p.word()
+		if name == "" {
+			return Attribute{}, fmt.Errorf("attr: missing attribute name at offset %d", p.pos)
+		}
+	default:
+		// Tolerate "Collector attribute { }" word order from Listing 3.
+		p.skipSpace()
+		if kw2 := p.word(); strings.EqualFold(kw2, "attribute") || strings.EqualFold(kw2, "attr") {
+			name = kw
+		} else {
+			return Attribute{}, fmt.Errorf("attr: expected keyword attr/attribute, got %q", kw)
+		}
+	}
+	a := Attribute{Name: name, Replica: 1}
+	p.skipSpace()
+	if !p.eof() && p.peek() == '=' {
+		p.pos++
+	}
+	if err := p.expect('{'); err != nil {
+		return Attribute{}, err
+	}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return Attribute{}, fmt.Errorf("attr %s: unterminated attribute body", name)
+		}
+		if p.peek() == '}' {
+			p.pos++
+			return a, nil
+		}
+		if err := p.parsePair(&a); err != nil {
+			return Attribute{}, err
+		}
+		p.skipSpace()
+		if !p.eof() && (p.peek() == ',' || p.peek() == ';') {
+			p.pos++
+		}
+	}
+}
+
+// parsePair consumes one "key = value" pair. Keys may contain an internal
+// space ("fault tolerance"), which the word scanner cannot see, so a second
+// word is consumed when the first one is "fault".
+func (p *parser) parsePair(a *Attribute) error {
+	p.skipSpace()
+	key := strings.ToLower(p.word())
+	if key == "" {
+		return fmt.Errorf("attr %s: expected key near %q", a.Name, p.near())
+	}
+	if key == "fault" {
+		p.skipSpace()
+		key += " " + strings.ToLower(p.word())
+	}
+	if err := p.expect('='); err != nil {
+		return err
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return fmt.Errorf("attr %s, key %s: %w", a.Name, key, err)
+	}
+	return applyPair(a, key, val)
+}
+
+// value is the dynamically-typed result of parsing one right-hand side.
+type value struct {
+	s      string
+	i      int64
+	b      bool
+	isInt  bool
+	isBool bool
+}
+
+func (p *parser) parseValue() (value, error) {
+	p.skipSpace()
+	if p.eof() {
+		return value{}, fmt.Errorf("missing value")
+	}
+	if p.peek() == '"' || p.peek() == '\'' {
+		quote := p.advance()
+		start := p.pos
+		for !p.eof() && p.peek() != quote {
+			p.pos++
+		}
+		if p.eof() {
+			return value{}, fmt.Errorf("unterminated string")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return value{s: s}, nil
+	}
+	// Bare token: possibly a signed integer, a boolean, or a word.
+	start := p.pos
+	if p.peek() == '-' || p.peek() == '+' {
+		p.pos++
+	}
+	w := p.src[start:p.pos] + p.word()
+	if w == "" {
+		return value{}, fmt.Errorf("empty value near %q", p.near())
+	}
+	if n, err := strconv.ParseInt(w, 10, 64); err == nil {
+		return value{s: w, i: n, isInt: true}, nil
+	}
+	switch strings.ToLower(w) {
+	case "true", "yes", "on":
+		return value{s: w, b: true, isBool: true}, nil
+	case "false", "no", "off":
+		return value{s: w, isBool: true}, nil
+	}
+	return value{s: w}, nil
+}
+
+func applyPair(a *Attribute, key string, v value) error {
+	switch key {
+	case "replica", "replicat", "replication", "replicas":
+		if !v.isInt {
+			return fmt.Errorf("attr %s: replica wants an integer, got %q", a.Name, v.s)
+		}
+		a.Replica = int(v.i)
+	case "fault tolerance", "faulttolerance", "fault_tolerance", "ft", "resilient":
+		if !v.isBool {
+			return fmt.Errorf("attr %s: fault tolerance wants a boolean, got %q", a.Name, v.s)
+		}
+		a.FaultTolerant = v.b
+	case "abstime", "absolute", "ttl":
+		if !v.isInt {
+			return fmt.Errorf("attr %s: abstime wants seconds as an integer, got %q", a.Name, v.s)
+		}
+		a.LifetimeAbs = time.Duration(v.i) * time.Second
+	case "lifetime", "reltime":
+		// An integer is an absolute duration in seconds; a name is a
+		// relative lifetime bound to another datum.
+		if v.isInt {
+			a.LifetimeAbs = time.Duration(v.i) * time.Second
+		} else {
+			a.LifetimeRel = v.s
+		}
+	case "affinity", "placement":
+		a.Affinity = v.s
+	case "oob", "protocol", "transfer", "transfer_protocol":
+		a.Protocol = strings.ToLower(v.s)
+	case "pinned", "pin":
+		if !v.isBool {
+			return fmt.Errorf("attr %s: pinned wants a boolean, got %q", a.Name, v.s)
+		}
+		a.Pinned = v.b
+	default:
+		return fmt.Errorf("attr %s: unknown attribute key %q", a.Name, key)
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package catalog implements BitDew's data-indexing services (paper §3.4.1):
+//
+//   - Service is the centralized Data Catalog (DC) run on a stable service
+//     host. It persistently stores data meta-information and the Locators
+//     giving remote access to permanent copies, shortening the critical
+//     path to a durable copy of each datum.
+//   - DDC is the Distributed Data Catalog: the (dataID, hostID) ownership
+//     pairs of replicas held by volatile reservoir nodes, published into a
+//     DHT so the replica index scales and survives churn without the DC
+//     implementing fault detection.
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bitdew/internal/data"
+	"bitdew/internal/db"
+	"bitdew/internal/dht"
+	"bitdew/internal/rpc"
+)
+
+// ServiceName is the rpc service name of the Data Catalog.
+const ServiceName = "dc"
+
+const (
+	tableData     = "dc_data"
+	tableLocators = "dc_locators"
+)
+
+// ErrNotFound is returned when a datum is absent from the catalog.
+var ErrNotFound = errors.New("catalog: data not found")
+
+// Service is the Data Catalog. It is safe for concurrent use; persistence
+// is delegated to the configured db.Store, matching the paper's design
+// where meta-data is serialised into a SQL database back-end.
+type Service struct {
+	store db.Store
+}
+
+// NewService builds a Data Catalog over the given persistent store.
+func NewService(store db.Store) *Service {
+	return &Service{store: store}
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(raw []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(v)
+}
+
+// Register records a datum (creating its slot in the data space) or updates
+// its meta-information after content is attached.
+func (s *Service) Register(d data.Data) error {
+	if d.UID == "" {
+		return fmt.Errorf("catalog: register: datum has no uid")
+	}
+	raw, err := encodeGob(d)
+	if err != nil {
+		return fmt.Errorf("catalog: encode %s: %w", d.UID, err)
+	}
+	return s.store.Put(tableData, string(d.UID), raw)
+}
+
+// Get retrieves a datum by UID.
+func (s *Service) Get(uid data.UID) (data.Data, error) {
+	raw, ok, err := s.store.Get(tableData, string(uid))
+	if err != nil {
+		return data.Data{}, err
+	}
+	if !ok {
+		return data.Data{}, fmt.Errorf("%w: %s", ErrNotFound, uid)
+	}
+	var d data.Data
+	if err := decodeGob(raw, &d); err != nil {
+		return data.Data{}, fmt.Errorf("catalog: decode %s: %w", uid, err)
+	}
+	return d, nil
+}
+
+// Delete removes a datum and its locators. Deleting an absent datum is not
+// an error (deletion must be idempotent under retried client calls).
+func (s *Service) Delete(uid data.UID) error {
+	if err := s.store.Delete(tableData, string(uid)); err != nil {
+		return err
+	}
+	return s.store.Delete(tableLocators, string(uid))
+}
+
+// SearchByName returns every datum labelled name, sorted by UID. Names are
+// not unique, so several data may match (the paper's searchData).
+func (s *Service) SearchByName(name string) ([]data.Data, error) {
+	var out []data.Data
+	var scanErr error
+	err := s.store.Scan(tableData, func(_ string, raw []byte) bool {
+		var d data.Data
+		if err := decodeGob(raw, &d); err != nil {
+			scanErr = err
+			return false
+		}
+		if d.Name == name {
+			out = append(out, d)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	return out, nil
+}
+
+// SearchByPrefix returns every datum whose name starts with prefix.
+func (s *Service) SearchByPrefix(prefix string) ([]data.Data, error) {
+	var out []data.Data
+	var scanErr error
+	err := s.store.Scan(tableData, func(_ string, raw []byte) bool {
+		var d data.Data
+		if err := decodeGob(raw, &d); err != nil {
+			scanErr = err
+			return false
+		}
+		if strings.HasPrefix(d.Name, prefix) {
+			out = append(out, d)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	return out, nil
+}
+
+// All returns every registered datum.
+func (s *Service) All() ([]data.Data, error) {
+	return s.SearchByPrefix("")
+}
+
+// AddLocator attaches a locator (remote-access description of a permanent
+// copy) to its datum.
+func (s *Service) AddLocator(l data.Locator) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if _, err := s.Get(l.DataUID); err != nil {
+		return err
+	}
+	var locs []data.Locator
+	raw, ok, err := s.store.Get(tableLocators, string(l.DataUID))
+	if err != nil {
+		return err
+	}
+	if ok {
+		if err := decodeGob(raw, &locs); err != nil {
+			return err
+		}
+	}
+	for _, old := range locs {
+		if old == l {
+			return nil // idempotent
+		}
+	}
+	locs = append(locs, l)
+	enc, err := encodeGob(locs)
+	if err != nil {
+		return err
+	}
+	return s.store.Put(tableLocators, string(l.DataUID), enc)
+}
+
+// Locators returns the locators attached to uid (possibly empty).
+func (s *Service) Locators(uid data.UID) ([]data.Locator, error) {
+	raw, ok, err := s.store.Get(tableLocators, string(uid))
+	if err != nil || !ok {
+		return nil, err
+	}
+	var locs []data.Locator
+	if err := decodeGob(raw, &locs); err != nil {
+		return nil, err
+	}
+	return locs, nil
+}
+
+// Mount registers the Data Catalog's methods on an rpc Mux under the "dc"
+// service name, making it callable from client and reservoir hosts.
+func (s *Service) Mount(m *rpc.Mux) {
+	rpc.Register(m, ServiceName, "Register", func(d data.Data) (struct{}, error) {
+		return struct{}{}, s.Register(d)
+	})
+	rpc.Register(m, ServiceName, "Get", func(uid data.UID) (data.Data, error) {
+		return s.Get(uid)
+	})
+	rpc.Register(m, ServiceName, "Delete", func(uid data.UID) (struct{}, error) {
+		return struct{}{}, s.Delete(uid)
+	})
+	rpc.Register(m, ServiceName, "SearchByName", func(name string) ([]data.Data, error) {
+		return s.SearchByName(name)
+	})
+	rpc.Register(m, ServiceName, "AddLocator", func(l data.Locator) (struct{}, error) {
+		return struct{}{}, s.AddLocator(l)
+	})
+	rpc.Register(m, ServiceName, "Locators", func(uid data.UID) ([]data.Locator, error) {
+		return s.Locators(uid)
+	})
+	rpc.Register(m, ServiceName, "All", func(struct{}) ([]data.Data, error) {
+		return s.All()
+	})
+}
+
+// Client is the typed client of a remote Data Catalog.
+type Client struct {
+	c rpc.Client
+}
+
+// NewClient wraps an rpc client (local or TCP) as a Data Catalog client.
+func NewClient(c rpc.Client) *Client { return &Client{c: c} }
+
+// Register records a datum in the remote catalog.
+func (c *Client) Register(d data.Data) error {
+	return c.c.Call(ServiceName, "Register", d, nil)
+}
+
+// Get retrieves a datum by UID.
+func (c *Client) Get(uid data.UID) (data.Data, error) {
+	var d data.Data
+	err := c.c.Call(ServiceName, "Get", uid, &d)
+	return d, err
+}
+
+// Delete removes a datum.
+func (c *Client) Delete(uid data.UID) error {
+	return c.c.Call(ServiceName, "Delete", uid, nil)
+}
+
+// SearchByName finds data by label.
+func (c *Client) SearchByName(name string) ([]data.Data, error) {
+	var out []data.Data
+	err := c.c.Call(ServiceName, "SearchByName", name, &out)
+	return out, err
+}
+
+// AddLocator attaches a locator to a datum.
+func (c *Client) AddLocator(l data.Locator) error {
+	return c.c.Call(ServiceName, "AddLocator", l, nil)
+}
+
+// Locators lists the locators of a datum.
+func (c *Client) Locators(uid data.UID) ([]data.Locator, error) {
+	var out []data.Locator
+	err := c.c.Call(ServiceName, "Locators", uid, &out)
+	return out, err
+}
+
+// All lists every datum known to the catalog.
+func (c *Client) All() ([]data.Data, error) {
+	var out []data.Data
+	err := c.c.Call(ServiceName, "All", struct{}{}, &out)
+	return out, err
+}
+
+// DDC is the Distributed Data Catalog: replica ownership published through
+// a DHT. Each completed transfer to a volatile node inserts a new
+// (dataID, hostID) pair (paper §3.4.1).
+type DDC struct {
+	ring *dht.Ring
+}
+
+// NewDDC builds a Distributed Data Catalog over an existing DHT ring.
+func NewDDC(ring *dht.Ring) *DDC { return &DDC{ring: ring} }
+
+// Publish records that host owns a replica of uid.
+func (d *DDC) Publish(uid data.UID, host string) error {
+	return d.ring.Put(string(uid), host)
+}
+
+// Owners returns the hosts known to hold a replica of uid.
+func (d *DDC) Owners(uid data.UID) ([]string, error) {
+	return d.ring.Get(string(uid))
+}
+
+// Withdraw removes host from the owner set of uid.
+func (d *DDC) Withdraw(uid data.UID, host string) error {
+	return d.ring.Remove(string(uid), host)
+}
+
+// PublishKV publishes a generic key/value pair; the paper exposes the DHT
+// for arbitrary application use beyond replica indexing.
+func (d *DDC) PublishKV(key, value string) error { return d.ring.Put(key, value) }
+
+// LookupKV retrieves the values published under a generic key.
+func (d *DDC) LookupKV(key string) ([]string, error) { return d.ring.Get(key) }

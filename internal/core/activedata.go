@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/data"
+)
+
+// Event is one data life-cycle occurrence delivered to callbacks.
+type Event struct {
+	Data data.Data
+	Attr attr.Attribute
+}
+
+// EventHandler receives data life-cycle events. Any field may be nil.
+// Handlers run on the node's pull-loop goroutine; they dispatch on the
+// attribute name exactly as the paper's Listing 2 handlers do.
+type EventHandler struct {
+	// OnDataCopy fires when a datum's content has landed in the local
+	// cache (after integrity verification).
+	OnDataCopy func(Event)
+	// OnDataDelete fires when the scheduler obsoletes a cached datum and
+	// the local copy is removed.
+	OnDataDelete func(Event)
+}
+
+// ActiveData is the scheduling-and-events API: it manages data attributes,
+// interfaces with the Data Scheduler, and delivers life-cycle callbacks.
+type ActiveData struct {
+	comms *Comms
+	node  *Node // back-reference for cache bookkeeping; nil off-node
+
+	mu       sync.Mutex
+	handlers []EventHandler
+}
+
+// NewActiveData builds the API over service connections. Attach it to a
+// Node (via Node.ActiveData) to receive callbacks.
+func NewActiveData(comms *Comms) *ActiveData {
+	return &ActiveData{comms: comms}
+}
+
+// CreateAttribute parses an attribute definition in the paper's language,
+// e.g. bitdew.createAttribute("attr update = {replica = -1, oob =
+// bittorrent}").
+func (a *ActiveData) CreateAttribute(spec string) (attr.Attribute, error) {
+	return attr.Parse(spec)
+}
+
+// Schedule associates the datum with an attribute and orders the Data
+// Scheduler to place it according to Algorithm 1.
+func (a *ActiveData) Schedule(d data.Data, at attr.Attribute) error {
+	return a.comms.DS.Schedule(d, at)
+}
+
+// Pin schedules the datum and declares it owned by this node: the
+// scheduler will never expire that ownership, and affinity references
+// resolve to this node. Off-node (no attached Node), host must be set by
+// PinAs.
+func (a *ActiveData) Pin(d data.Data, at attr.Attribute) error {
+	host := ""
+	if a.node != nil {
+		host = a.node.Host
+	}
+	return a.PinAs(d, at, host)
+}
+
+// PinAs pins the datum for an explicit host identity.
+func (a *ActiveData) PinAs(d data.Data, at attr.Attribute, host string) error {
+	if err := a.comms.DS.Pin(d, at, host); err != nil {
+		return err
+	}
+	if a.node != nil && a.node.Host == host {
+		a.node.adoptLocal(d, at)
+	}
+	return nil
+}
+
+// Unschedule withdraws the datum from the scheduler; data bound to it by
+// relative lifetime become obsolete.
+func (a *ActiveData) Unschedule(d data.Data) error {
+	return a.comms.DS.Unschedule(d.UID)
+}
+
+// AddCallback installs a life-cycle event handler (Listing 1's
+// activeData.addCallback(new UpdaterHandler())).
+func (a *ActiveData) AddCallback(h EventHandler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.handlers = append(a.handlers, h)
+}
+
+// fireCopy delivers a data-copy event to every handler.
+func (a *ActiveData) fireCopy(e Event) {
+	a.mu.Lock()
+	hs := append([]EventHandler(nil), a.handlers...)
+	a.mu.Unlock()
+	for _, h := range hs {
+		if h.OnDataCopy != nil {
+			h.OnDataCopy(e)
+		}
+	}
+}
+
+// fireDelete delivers a data-delete event to every handler.
+func (a *ActiveData) fireDelete(e Event) {
+	a.mu.Lock()
+	hs := append([]EventHandler(nil), a.handlers...)
+	a.mu.Unlock()
+	for _, h := range hs {
+		if h.OnDataDelete != nil {
+			h.OnDataDelete(e)
+		}
+	}
+}

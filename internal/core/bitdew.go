@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"bitdew/internal/data"
+	"bitdew/internal/repository"
+	"bitdew/internal/transfer"
+)
+
+// UploadProtocol is the protocol used by Put to push content to the Data
+// Repository. Distribution to other nodes then follows each datum's own
+// transfer-protocol attribute.
+const UploadProtocol = "http"
+
+// BitDew is the data-space API: it aggregates the storage resources of the
+// system and virtualizes them as a unique space where data are stored
+// (the Tuple-Space heritage the paper cites). Create a slot, put content
+// into it, get content out of it, search by name.
+type BitDew struct {
+	comms   *Comms
+	backend repository.Backend
+	engine  *transfer.Engine
+	host    string
+}
+
+// NewBitDew builds the API over service connections, local storage and the
+// node's transfer engine.
+func NewBitDew(comms *Comms, backend repository.Backend, engine *transfer.Engine, host string) *BitDew {
+	return &BitDew{comms: comms, backend: backend, engine: engine, host: host}
+}
+
+// CreateData creates an empty slot in the data space.
+func (b *BitDew) CreateData(name string) (*data.Data, error) {
+	d := data.New(name)
+	if err := b.comms.DC.Register(*d); err != nil {
+		return nil, fmt.Errorf("bitdew: createData %s: %w", name, err)
+	}
+	return d, nil
+}
+
+// CreateDataFromBytes creates a slot whose meta-information (size, MD5) is
+// computed from content. The content stays local until Put.
+func (b *BitDew) CreateDataFromBytes(name string, content []byte) (*data.Data, error) {
+	d := data.NewFromBytes(name, content)
+	if err := b.backend.Put(string(d.UID), content); err != nil {
+		return nil, err
+	}
+	if err := b.comms.DC.Register(*d); err != nil {
+		return nil, fmt.Errorf("bitdew: createData %s: %w", name, err)
+	}
+	return d, nil
+}
+
+// CreateDataFromFile creates a slot from a local file.
+func (b *BitDew) CreateDataFromFile(path string) (*data.Data, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bitdew: %w", err)
+	}
+	d, err := data.NewFromFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.backend.Put(string(d.UID), content); err != nil {
+		return nil, err
+	}
+	if err := b.comms.DC.Register(*d); err != nil {
+		return nil, fmt.Errorf("bitdew: createData %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Put copies content into the datum's slot: local storage, upload to the
+// Data Repository, and catalog registration of meta-information and
+// locator. It blocks until the permanent copy is safe, mirroring
+// bitdew.put(data, file).
+func (b *BitDew) Put(d *data.Data, content []byte) error {
+	*d = *d.WithContent(content)
+	if err := b.backend.Put(string(d.UID), content); err != nil {
+		return err
+	}
+	if err := b.comms.DC.Register(*d); err != nil {
+		return fmt.Errorf("bitdew: put %s: register: %w", d.Name, err)
+	}
+	loc, err := b.comms.DR.Locator(d.UID, UploadProtocol)
+	if err != nil {
+		return fmt.Errorf("bitdew: put %s: locator: %w", d.Name, err)
+	}
+	if err := b.engine.Upload(*d, loc).Wait(); err != nil {
+		return fmt.Errorf("bitdew: put %s: upload: %w", d.Name, err)
+	}
+	if err := b.comms.DC.AddLocator(loc); err != nil {
+		return fmt.Errorf("bitdew: put %s: publish locator: %w", d.Name, err)
+	}
+	return nil
+}
+
+// PutFile is Put reading content from a local file.
+func (b *BitDew) PutFile(d *data.Data, path string) error {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bitdew: %w", err)
+	}
+	return b.Put(d, content)
+}
+
+// Get starts fetching the datum's content from the data space into local
+// storage and returns a transfer handle; block on it with the
+// TransferManager (transferManager.waitFor(data) in the paper's Listing 2).
+func (b *BitDew) Get(d data.Data) (*transfer.Handle, error) {
+	loc, err := b.locatorFor(d, "")
+	if err != nil {
+		return nil, err
+	}
+	return b.engine.Download(d, loc), nil
+}
+
+// GetBytes is a blocking Get returning the verified content. It tries
+// every known locator in turn (catalog-registered first, then a fresh
+// repository locator), so stale catalog entries — e.g. a service host that
+// came back on a new endpoint after a transient failure — do not strand
+// the datum.
+func (b *BitDew) GetBytes(d data.Data) ([]byte, error) {
+	if err := b.Fetch(d, ""); err != nil {
+		return nil, err
+	}
+	return b.backend.Get(string(d.UID))
+}
+
+// Fetch downloads d into local storage, trying each candidate locator
+// until one succeeds.
+func (b *BitDew) Fetch(d data.Data, protocol string) error {
+	locs, err := b.locatorsFor(d, protocol)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, loc := range locs {
+		if err := b.engine.Download(d, loc).Wait(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("bitdew: fetching %s: all %d locators failed: %w", d.Name, len(locs), lastErr)
+}
+
+// GetFile is a blocking Get writing the content to a local file.
+func (b *BitDew) GetFile(d data.Data, path string) error {
+	content, err := b.GetBytes(d)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, content, 0o644)
+}
+
+// locatorsFor lists every candidate source for d, in preference order:
+// catalog-registered locators matching the requested protocol, then a
+// repository locator (which also covers restarted repositories whose
+// endpoints moved).
+func (b *BitDew) locatorsFor(d data.Data, protocol string) ([]data.Locator, error) {
+	var out []data.Locator
+	seen := map[data.Locator]bool{}
+	if locs, err := b.comms.DC.Locators(d.UID); err == nil {
+		for _, l := range locs {
+			if protocol == "" || l.Protocol == protocol {
+				out = append(out, l)
+				seen[l] = true
+			}
+		}
+	}
+	if loc, err := b.comms.DR.LocatorAny(d.UID, protocol); err == nil && !seen[loc] {
+		out = append(out, loc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bitdew: no locator for %s", d.Name)
+	}
+	return out, nil
+}
+
+// locatorFor returns the preferred locator for d.
+func (b *BitDew) locatorFor(d data.Data, protocol string) (data.Locator, error) {
+	locs, err := b.locatorsFor(d, protocol)
+	if err != nil {
+		return data.Locator{}, err
+	}
+	return locs[0], nil
+}
+
+// SearchData finds data in the catalog by name; when several match, they
+// are returned in stable UID order.
+func (b *BitDew) SearchData(name string) ([]data.Data, error) {
+	return b.comms.DC.SearchByName(name)
+}
+
+// AllData lists every datum registered in the catalog.
+func (b *BitDew) AllData() ([]data.Data, error) {
+	return b.comms.DC.All()
+}
+
+// SearchDataFirst returns the single match for name, erroring on none.
+func (b *BitDew) SearchDataFirst(name string) (data.Data, error) {
+	found, err := b.comms.DC.SearchByName(name)
+	if err != nil {
+		return data.Data{}, err
+	}
+	if len(found) == 0 {
+		return data.Data{}, fmt.Errorf("bitdew: no data named %q", name)
+	}
+	return found[0], nil
+}
+
+// DeleteData removes the datum everywhere the node can reach: catalog
+// (with locators), scheduler, repository and local cache. Data holding a
+// relative lifetime on it will expire at their owners' next sync.
+func (b *BitDew) DeleteData(d data.Data) error {
+	if err := b.comms.DC.Delete(d.UID); err != nil {
+		return err
+	}
+	b.comms.DS.Unschedule(d.UID) // best-effort: may not be scheduled
+	b.comms.DR.Delete(d.UID)
+	return b.backend.Delete(string(d.UID))
+}
+
+// Local reports whether the datum's content is in this node's local cache.
+func (b *BitDew) Local(d data.Data) bool {
+	n, err := b.backend.Size(string(d.UID))
+	return err == nil && n == d.Size
+}

@@ -1,0 +1,84 @@
+// Package core provides BitDew's three programming interfaces (paper §3.3):
+//
+//   - BitDew: create data slots in the virtual data space, put and get
+//     content, search and delete data;
+//   - ActiveData: attach attributes, schedule and pin data, and react to
+//     data life-cycle events through callbacks;
+//   - TransferManager: non-blocking concurrent transfers, probing, waiting
+//     and barriers.
+//
+// It also provides Node, the volatile-host runtime that periodically pulls
+// the Data Scheduler (the classical Desktop-Grid pull model), synchronizes
+// the local cache against the returned set, downloads newly assigned data
+// out-of-band and fires life-cycle events.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bitdew/internal/catalog"
+	"bitdew/internal/repository"
+	"bitdew/internal/rpc"
+	"bitdew/internal/scheduler"
+	"bitdew/internal/transfer"
+)
+
+// Comms bundles typed clients to the four runtime services — the Go
+// analogue of the paper's ComWorld.getMultipleComms(host, "RMI", port,
+// "dc", "dr", "dt", "ds"). In a distributed setup each service may live on
+// a different host; instantiate Comms per pool as the paper recommends.
+type Comms struct {
+	DC *catalog.Client
+	DR *repository.Client
+	DT *transfer.Client
+	DS *scheduler.Client
+
+	underlying []rpc.Client
+}
+
+// Connect dials the service host at addr over TCP for all four services.
+func Connect(addr string) (*Comms, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
+	}
+	return commsFrom(c), nil
+}
+
+// ConnectWithLatency dials addr injecting a per-call latency, used to
+// emulate wide-area deployments from one machine.
+func ConnectWithLatency(addr string, latency time.Duration) (*Comms, error) {
+	c, err := rpc.Dial(addr, rpc.WithCallLatency(latency))
+	if err != nil {
+		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
+	}
+	return commsFrom(c), nil
+}
+
+// ConnectLocal attaches to services mounted on an in-process Mux (the
+// paper's "local" configuration where a function call replaces the RMI).
+func ConnectLocal(m *rpc.Mux) *Comms {
+	return commsFrom(rpc.NewLocalClient(m, 0))
+}
+
+func commsFrom(c rpc.Client) *Comms {
+	return &Comms{
+		DC:         catalog.NewClient(c),
+		DR:         repository.NewClient(c),
+		DT:         transfer.NewClient(c),
+		DS:         scheduler.NewClient(c),
+		underlying: []rpc.Client{c},
+	}
+}
+
+// Close releases every underlying connection.
+func (c *Comms) Close() error {
+	var first error
+	for _, u := range c.underlying {
+		if err := u.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/data"
+	"bitdew/internal/repository"
+	"bitdew/internal/scheduler"
+	"bitdew/internal/transfer"
+)
+
+// DefaultSyncPeriod is the reservoir host's pull period; the paper's
+// stressed experiments synchronize with the scheduler every second.
+const DefaultSyncPeriod = time.Second
+
+// NodeConfig configures a volatile host.
+type NodeConfig struct {
+	// Host is the node's identity towards the scheduler. Required.
+	Host string
+	// Comms are the service connections. Required.
+	Comms *Comms
+	// Backend is local storage (defaults to an in-memory backend, the
+	// reservoir cache).
+	Backend repository.Backend
+	// SyncPeriod is the pull period (defaults to DefaultSyncPeriod).
+	SyncPeriod time.Duration
+	// Concurrency caps simultaneous transfers (defaults to 4).
+	Concurrency int
+}
+
+// cacheEntry is one locally held datum with the attribute it arrived under.
+type cacheEntry struct {
+	d data.Data
+	a attr.Attribute
+}
+
+// Node is a volatile host (client or reservoir) attached to the runtime
+// services. It periodically pulls the Data Scheduler, reconciles its local
+// cache with the returned set (keep / drop / fetch of Algorithm 1's Ψ),
+// downloads new data out-of-band and fires data life-cycle events.
+type Node struct {
+	Host string
+
+	comms   *Comms
+	backend repository.Backend
+	engine  *transfer.Engine
+
+	// BitDew, ActiveData and Transfers are the node's API instances.
+	BitDew     *BitDew
+	ActiveData *ActiveData
+	Transfers  *TransferManager
+
+	syncPeriod time.Duration
+
+	mu         sync.Mutex
+	cache      map[data.UID]cacheEntry
+	inflight   map[data.UID]bool
+	lastErr    error
+	clientOnly bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewNode builds a volatile host from its configuration.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Host == "" {
+		return nil, fmt.Errorf("core: node needs a host identity")
+	}
+	if cfg.Comms == nil {
+		return nil, fmt.Errorf("core: node needs service connections")
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = repository.NewMemBackend()
+	}
+	if cfg.SyncPeriod <= 0 {
+		cfg.SyncPeriod = DefaultSyncPeriod
+	}
+	engine := transfer.NewEngine(cfg.Backend, cfg.Comms.DT, cfg.Host, cfg.Concurrency)
+	n := &Node{
+		Host:       cfg.Host,
+		comms:      cfg.Comms,
+		backend:    cfg.Backend,
+		engine:     engine,
+		syncPeriod: cfg.SyncPeriod,
+		cache:      make(map[data.UID]cacheEntry),
+		inflight:   make(map[data.UID]bool),
+		stop:       make(chan struct{}),
+	}
+	n.BitDew = NewBitDew(cfg.Comms, cfg.Backend, engine, cfg.Host)
+	n.ActiveData = NewActiveData(cfg.Comms)
+	n.ActiveData.node = n
+	n.Transfers = NewTransferManager(engine)
+	return n, nil
+}
+
+// Backend exposes the node's local storage.
+func (n *Node) Backend() repository.Backend { return n.backend }
+
+// SetClientOnly marks this node a client host: it asks for storage (its
+// pinned data attract affinity-routed results) but never offers its own,
+// so the scheduler skips it for replica and broadcast placement. Masters
+// of master/worker applications run client-only (§3.1's client/reservoir
+// distinction).
+func (n *Node) SetClientOnly(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clientOnly = v
+}
+
+// Cache lists the UIDs currently held (or being fetched) by this node.
+func (n *Node) Cache() []data.UID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]data.UID, 0, len(n.cache))
+	for uid := range n.cache {
+		out = append(out, uid)
+	}
+	return out
+}
+
+// Holds reports whether the datum is in the node's cache.
+func (n *Node) Holds(uid data.UID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.cache[uid]
+	return ok
+}
+
+// LastErr returns the most recent pull-loop error (nil when healthy).
+func (n *Node) LastErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// adoptLocal records a locally created datum (e.g. a pinned Collector) in
+// the cache so synchronizations report it.
+func (n *Node) adoptLocal(d data.Data, a attr.Attribute) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cache[d.UID] = cacheEntry{d: d, a: a}
+}
+
+// Start launches the periodic pull loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(n.syncPeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-ticker.C:
+				if err := n.SyncOnce(); err != nil {
+					n.mu.Lock()
+					n.lastErr = err
+					n.mu.Unlock()
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the pull loop. The node can still be driven with SyncOnce.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// SyncOnce performs one pull-model synchronization: report the cache, then
+// apply the scheduler's answer. Downloads are started asynchronously so
+// heartbeats continue during long transfers; SyncWait additionally blocks
+// until they land.
+func (n *Node) SyncOnce() error {
+	// The reported cache is the dataset this host manages: completed
+	// copies plus in-flight downloads. Reporting in-flight data keeps the
+	// scheduler's ownership heartbeats alive during transfers longer than
+	// the failure-detection timeout.
+	n.mu.Lock()
+	cacheUIDs := make([]data.UID, 0, len(n.cache)+len(n.inflight))
+	for uid := range n.cache {
+		cacheUIDs = append(cacheUIDs, uid)
+	}
+	for uid := range n.inflight {
+		if _, dup := n.cache[uid]; !dup {
+			cacheUIDs = append(cacheUIDs, uid)
+		}
+	}
+	clientOnly := n.clientOnly
+	n.mu.Unlock()
+
+	res, err := n.comms.DS.SyncAs(n.Host, cacheUIDs, clientOnly)
+	if err != nil {
+		return fmt.Errorf("core: sync %s: %w", n.Host, err)
+	}
+
+	// Drop Δk \ Ψk: delete local copies and fire delete events.
+	for _, uid := range res.Drop {
+		n.mu.Lock()
+		entry, ok := n.cache[uid]
+		delete(n.cache, uid)
+		n.mu.Unlock()
+		n.backend.Delete(string(uid))
+		if ok {
+			n.ActiveData.fireDelete(Event{Data: entry.d, Attr: entry.a})
+		}
+	}
+
+	// Fetch Ψk \ Δk.
+	for _, as := range res.Fetch {
+		n.startFetch(as)
+	}
+	return nil
+}
+
+// startFetch begins downloading one assignment unless already in flight.
+func (n *Node) startFetch(as scheduler.Assignment) {
+	n.mu.Lock()
+	if n.inflight[as.Data.UID] {
+		n.mu.Unlock()
+		return
+	}
+	if _, cached := n.cache[as.Data.UID]; cached {
+		n.mu.Unlock()
+		return
+	}
+	n.inflight[as.Data.UID] = true
+	n.mu.Unlock()
+
+	finish := func(ok bool) {
+		n.mu.Lock()
+		delete(n.inflight, as.Data.UID)
+		if ok {
+			n.cache[as.Data.UID] = cacheEntry{d: as.Data, a: as.Attr}
+		}
+		n.mu.Unlock()
+		if ok {
+			n.ActiveData.fireCopy(Event{Data: as.Data, Attr: as.Attr})
+		}
+	}
+
+	// Empty slots (created but never filled, e.g. a Collector) have no
+	// content to move: adopt them directly.
+	if as.Data.Size == 0 && as.Data.Checksum == "" {
+		if err := n.backend.Put(string(as.Data.UID), nil); err != nil {
+			finish(false)
+			return
+		}
+		finish(true)
+		return
+	}
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		finish(n.BitDew.Fetch(as.Data, as.Attr.Protocol) == nil)
+	}()
+}
+
+// SyncWait runs SyncOnce rounds until the node's cache is quiescent: no
+// transfers in flight and a final round neither fetched nor dropped
+// anything. It is the deterministic driver used by tests and examples.
+func (n *Node) SyncWait(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := n.SyncOnce(); err != nil {
+			return err
+		}
+		// Wait for in-flight downloads from this round.
+		for {
+			n.mu.Lock()
+			busy := len(n.inflight) > 0
+			n.mu.Unlock()
+			if !busy {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// storeFixtures builds each Store implementation over a shared server so the
+// whole suite runs against every engine.
+func storeFixtures(t *testing.T) map[string]Store {
+	t.Helper()
+	fixtures := map[string]Store{
+		"rowstore": NewRowStore(),
+	}
+	backing := NewRowStore()
+	srv, err := NewServer(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := DialConn(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	fixtures["conn"] = conn
+
+	// Separate servers so the engines don't share tables.
+	srv2, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	fixtures["unpooled"] = NewUnpooledStore(srv2.Addr())
+
+	srv3, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv3.Close() })
+	pool := NewPool(srv3.Addr(), 4)
+	t.Cleanup(func() { pool.Close() })
+	fixtures["pool"] = pool
+	return fixtures
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, s := range storeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("t", "k1", []byte("v1")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := s.Put("t", "k2", []byte("v2")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			v, ok, err := s.Get("t", "k1")
+			if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+				t.Fatalf("Get k1 = %q %v %v", v, ok, err)
+			}
+			if _, ok, _ := s.Get("t", "missing"); ok {
+				t.Fatal("Get missing: found")
+			}
+			if _, ok, _ := s.Get("other", "k1"); ok {
+				t.Fatal("table isolation broken")
+			}
+			// Overwrite.
+			if err := s.Put("t", "k1", []byte("v1b")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = s.Get("t", "k1")
+			if !bytes.Equal(v, []byte("v1b")) {
+				t.Fatalf("overwrite: got %q", v)
+			}
+			keys, err := s.Keys("t")
+			if err != nil || !reflect.DeepEqual(keys, []string{"k1", "k2"}) {
+				t.Fatalf("Keys = %v, %v", keys, err)
+			}
+			var visited []string
+			if err := s.Scan("t", func(k string, v []byte) bool {
+				visited = append(visited, k)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(visited, []string{"k1", "k2"}) {
+				t.Fatalf("Scan visited %v", visited)
+			}
+			// Early-exit scan.
+			visited = nil
+			s.Scan("t", func(k string, v []byte) bool {
+				visited = append(visited, k)
+				return false
+			})
+			if len(visited) != 1 {
+				t.Fatalf("Scan early exit visited %v", visited)
+			}
+			if err := s.Delete("t", "k1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get("t", "k1"); ok {
+				t.Fatal("Get after Delete: found")
+			}
+			if err := s.Delete("t", "never-existed"); err != nil {
+				t.Fatalf("Delete absent key: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	for name, s := range storeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						key := fmt.Sprintf("w%d-k%d", w, i)
+						if err := s.Put("c", key, []byte(key)); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						v, ok, err := s.Get("c", key)
+						if err != nil || !ok || string(v) != key {
+							t.Errorf("Get %s = %q %v %v", key, v, ok, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			keys, err := s.Keys("c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 8*50 {
+				t.Fatalf("got %d keys, want 400", len(keys))
+			}
+		})
+	}
+}
+
+func TestRowStoreClosed(t *testing.T) {
+	s := NewRowStore()
+	s.Close()
+	if err := s.Put("t", "k", nil); err != ErrClosed {
+		t.Errorf("Put after Close: %v", err)
+	}
+	if _, _, err := s.Get("t", "k"); err != ErrClosed {
+		t.Errorf("Get after Close: %v", err)
+	}
+	if err := s.Delete("t", "k"); err != ErrClosed {
+		t.Errorf("Delete after Close: %v", err)
+	}
+	if _, err := s.Keys("t"); err != ErrClosed {
+		t.Errorf("Keys after Close: %v", err)
+	}
+}
+
+func TestRowStoreValueIsolation(t *testing.T) {
+	s := NewRowStore()
+	v := []byte("mutable")
+	s.Put("t", "k", v)
+	v[0] = 'X'
+	got, _, _ := s.Get("t", "k")
+	if string(got) != "mutable" {
+		t.Errorf("store aliased caller slice: %q", got)
+	}
+	got[0] = 'Y'
+	got2, _, _ := s.Get("t", "k")
+	if string(got2) != "mutable" {
+		t.Errorf("Get returned aliased slice: %q", got2)
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	var wal bytes.Buffer
+	s := NewRowStore(WithWAL(&wal))
+	s.Put("t", "a", []byte("1"))
+	s.Put("t", "b", []byte("2"))
+	s.Put("u", "c", []byte("3"))
+	s.Delete("t", "a")
+	s.Put("t", "b", []byte("2b"))
+
+	restored := NewRowStore()
+	if err := restored.Replay(&wal); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := restored.Get("t", "a"); ok {
+		t.Error("deleted key a resurrected")
+	}
+	if v, _, _ := restored.Get("t", "b"); string(v) != "2b" {
+		t.Errorf("b = %q, want 2b", v)
+	}
+	if v, _, _ := restored.Get("u", "c"); string(v) != "3" {
+		t.Errorf("c = %q, want 3", v)
+	}
+}
+
+func TestSnapshotRestoresEverything(t *testing.T) {
+	s := NewRowStore()
+	for i := 0; i < 100; i++ {
+		s.Put("t", fmt.Sprintf("k%03d", i), []byte(fmt.Sprint(i)))
+	}
+	var snap bytes.Buffer
+	if err := s.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRowStore()
+	if err := r.Replay(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len("t") != 100 {
+		t.Fatalf("restored %d rows, want 100", r.Len("t"))
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewRowStore()
+	s.Put("t", "k", []byte("v"))
+	c := s.Clone()
+	c.Put("t", "k2", []byte("v2"))
+	if s.Len("t") != 1 || c.Len("t") != 2 {
+		t.Errorf("clone not independent: s=%d c=%d", s.Len("t"), c.Len("t"))
+	}
+}
+
+func TestQuickRowStorePutGet(t *testing.T) {
+	s := NewRowStore()
+	f := func(table, key string, value []byte) bool {
+		if err := s.Put(table, key, value); err != nil {
+			return false
+		}
+		got, ok, err := s.Get(table, key)
+		return err == nil && ok && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWALRoundTrip(t *testing.T) {
+	type op struct {
+		Del        bool
+		Table, Key string
+		Value      []byte
+	}
+	f := func(ops []op) bool {
+		var wal bytes.Buffer
+		s := NewRowStore(WithWAL(&wal))
+		for _, o := range ops {
+			if o.Del {
+				s.Delete(o.Table, o.Key)
+			} else {
+				s.Put(o.Table, o.Key, o.Value)
+			}
+		}
+		r := NewRowStore()
+		if err := r.Replay(&wal); err != nil {
+			return false
+		}
+		// Final states must agree on every (table,key) touched.
+		for _, o := range ops {
+			want, wok, _ := s.Get(o.Table, o.Key)
+			got, gok, _ := r.Get(o.Table, o.Key)
+			if wok != gok || !bytes.Equal(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolBounded(t *testing.T) {
+	srv, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := NewPool(srv.Addr(), 3)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.Put("t", fmt.Sprint(i), []byte("v")); err != nil {
+				t.Errorf("Put: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	live, idle := p.Stats()
+	if live > 3 {
+		t.Errorf("pool exceeded max: live=%d", live)
+	}
+	if idle > live {
+		t.Errorf("idle %d > live %d", idle, live)
+	}
+	keys, err := p.Keys("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 30 {
+		t.Errorf("got %d keys, want 30", len(keys))
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	srv, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := NewPool(srv.Addr(), 4)
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		if err := p.Put("t", "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, idle := p.Stats()
+	if live != 1 || idle != 1 {
+		t.Errorf("sequential use should hold one connection: live=%d idle=%d", live, idle)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	srv, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := NewPool(srv.Addr(), 2)
+	p.Put("t", "k", []byte("v"))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // idempotent
+	if err := p.Put("t", "k2", nil); err != ErrClosed {
+		t.Errorf("Put after Close: %v", err)
+	}
+}
+
+func TestPoolDiscardOnServerFailure(t *testing.T) {
+	srv, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(srv.Addr(), 2)
+	defer p.Close()
+	if err := p.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := p.Put("t", "k2", []byte("v")); err == nil {
+		t.Fatal("Put against dead server succeeded")
+	}
+	live, _ := p.Stats()
+	if live != 0 {
+		t.Errorf("broken connections not discarded: live=%d", live)
+	}
+}
+
+func TestUnpooledDialsPerOperation(t *testing.T) {
+	srv, err := NewServer(NewRowStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	u := NewUnpooledStore(srv.Addr())
+	for i := 0; i < 10; i++ {
+		if err := u.Put("t", fmt.Sprint(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := u.Keys("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 10 {
+		t.Errorf("got %d keys", len(keys))
+	}
+	if err := u.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// failingWriter errors after n bytes, simulating a full or failing disk
+// under the WAL.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, fmt.Errorf("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWALWriteFailureRejectsMutation(t *testing.T) {
+	s := NewRowStore(WithWAL(&failingWriter{n: 16}))
+	// First put may or may not fit in 16 bytes of WAL; keep writing until
+	// the WAL fails, then verify the failed mutation was not applied.
+	var failedKey string
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Put("t", key, []byte("v")); err != nil {
+			failedKey = key
+			break
+		}
+	}
+	if failedKey == "" {
+		t.Fatal("WAL never failed")
+	}
+	if _, ok, _ := s.Get("t", failedKey); ok {
+		t.Error("mutation applied despite WAL append failure")
+	}
+}
+
+func TestReplayCorruptWAL(t *testing.T) {
+	s := NewRowStore()
+	if err := s.Replay(bytes.NewReader([]byte("definitely not gob"))); err == nil {
+		t.Error("corrupt WAL replayed without error")
+	}
+}

@@ -1,0 +1,158 @@
+package db
+
+import (
+	"sync"
+)
+
+// Pool is the DBCP substitute: a bounded pool of live connections to a db
+// Server. Acquiring from the pool reuses an idle connection when one exists
+// and dials a new one otherwise, up to Max concurrent connections; further
+// acquirers block until a connection is released.
+type Pool struct {
+	addr string
+	max  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   []*Conn
+	live   int
+	closed bool
+}
+
+// NewPool creates a pool of at most max connections to the server at addr.
+// A max of zero or less defaults to 8, DBCP's historical default ballpark.
+func NewPool(addr string, max int) *Pool {
+	if max <= 0 {
+		max = 8
+	}
+	p := &Pool{addr: addr, max: max}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquire returns a live connection, blocking when the pool is exhausted.
+func (p *Pool) acquire() (*Conn, error) {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return c, nil
+		}
+		if p.live < p.max {
+			p.live++
+			p.mu.Unlock()
+			c, err := DialConn(p.addr)
+			if err != nil {
+				p.mu.Lock()
+				p.live--
+				p.cond.Signal()
+				p.mu.Unlock()
+				return nil, err
+			}
+			return c, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// release returns a connection to the idle list; a broken connection should
+// be discarded with discard instead.
+func (p *Pool) release(c *Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.live--
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.cond.Signal()
+}
+
+// discard closes a broken connection and frees its pool slot.
+func (p *Pool) discard(c *Conn) {
+	c.Close()
+	p.mu.Lock()
+	p.live--
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Stats reports current pool occupancy: live connections and idle ones.
+func (p *Pool) Stats() (live, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live, len(p.idle)
+}
+
+// with runs fn on a pooled connection, recycling it on success and
+// discarding it on error.
+func (p *Pool) with(fn func(*Conn) error) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		p.discard(c)
+		return err
+	}
+	p.release(c)
+	return nil
+}
+
+// Put implements Store.
+func (p *Pool) Put(table, key string, value []byte) error {
+	return p.with(func(c *Conn) error { return c.Put(table, key, value) })
+}
+
+// Get implements Store.
+func (p *Pool) Get(table, key string) (v []byte, found bool, err error) {
+	err = p.with(func(c *Conn) error {
+		v, found, err = c.Get(table, key)
+		return err
+	})
+	return v, found, err
+}
+
+// Delete implements Store.
+func (p *Pool) Delete(table, key string) error {
+	return p.with(func(c *Conn) error { return c.Delete(table, key) })
+}
+
+// Keys implements Store.
+func (p *Pool) Keys(table string) (keys []string, err error) {
+	err = p.with(func(c *Conn) error {
+		keys, err = c.Keys(table)
+		return err
+	})
+	return keys, err
+}
+
+// Scan implements Store.
+func (p *Pool) Scan(table string, fn func(string, []byte) bool) error {
+	return p.with(func(c *Conn) error { return c.Scan(table, fn) })
+}
+
+// Close closes every idle connection and marks the pool closed. Connections
+// currently in use are closed as they are released.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+		p.live--
+	}
+	p.idle = nil
+	p.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package db provides the SQL-database back-end of the BitDew runtime
+// (paper §3.5). The original prototype persisted objects through Java JDO
+// into either MySQL (a networked server reached through a client/server
+// JDBC protocol) or HsqlDB (an embedded engine living in the service's
+// process), optionally in front of the DBCP connection pool.
+//
+// This package reproduces the same three design axes with real costs:
+//
+//   - RowStore is the embedded engine (HsqlDB role): an in-process,
+//     mutex-protected table store with optional write-ahead logging.
+//   - Server/Client expose any Store over TCP (MySQL role): every operation
+//     pays a real network round trip, and — exactly like JDBC without a
+//     pool — an unpooled client dials a fresh connection per operation.
+//   - Pool is the DBCP substitute: a bounded pool of live connections.
+package db
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed store or pool.
+var ErrClosed = errors.New("db: closed")
+
+// Store is the persistence interface used by every BitDew service that
+// serialises objects (Data Catalog, Data Scheduler, Data Repository
+// metadata). Keys are unique within a table.
+type Store interface {
+	// Put stores value under (table, key), overwriting any previous value.
+	Put(table, key string, value []byte) error
+	// Get retrieves the value under (table, key); found is false when the
+	// key is absent.
+	Get(table, key string) (value []byte, found bool, err error)
+	// Delete removes (table, key); deleting an absent key is not an error.
+	Delete(table, key string) error
+	// Keys lists the keys of a table in sorted order.
+	Keys(table string) ([]string, error)
+	// Scan visits every (key, value) of a table in sorted key order until
+	// fn returns false.
+	Scan(table string, fn func(key string, value []byte) bool) error
+	// Close releases resources. Operations after Close return ErrClosed.
+	Close() error
+}
+
+// walRecord is one write-ahead-log entry.
+type walRecord struct {
+	Op    byte // 'P' put, 'D' delete
+	Table string
+	Key   string
+	Value []byte
+}
+
+// RowStore is the embedded engine. The zero value is not usable; call
+// NewRowStore. All methods are safe for concurrent use.
+type RowStore struct {
+	mu     sync.RWMutex
+	tables map[string]map[string][]byte
+	wal    *gob.Encoder
+	walW   io.Writer
+	closed bool
+}
+
+// RowStoreOption configures a RowStore.
+type RowStoreOption func(*RowStore)
+
+// WithWAL makes every mutation append a gob record to w before it is
+// applied, so the store's state can be rebuilt with Replay after a transient
+// service-host failure (the paper's fault model for service nodes).
+func WithWAL(w io.Writer) RowStoreOption {
+	return func(s *RowStore) {
+		s.walW = w
+		s.wal = gob.NewEncoder(w)
+	}
+}
+
+// NewRowStore returns an empty embedded store.
+func NewRowStore(opts ...RowStoreOption) *RowStore {
+	s := &RowStore{tables: make(map[string]map[string][]byte)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+func (s *RowStore) Put(table, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.Encode(walRecord{Op: 'P', Table: table, Key: key, Value: value}); err != nil {
+			return fmt.Errorf("db: wal append: %w", err)
+		}
+	}
+	t := s.tables[table]
+	if t == nil {
+		t = make(map[string][]byte)
+		s.tables[table] = t
+	}
+	t[key] = append([]byte(nil), value...)
+	return nil
+}
+
+func (s *RowStore) Get(table, key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.tables[table][key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+func (s *RowStore) Delete(table, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.Encode(walRecord{Op: 'D', Table: table, Key: key}); err != nil {
+			return fmt.Errorf("db: wal append: %w", err)
+		}
+	}
+	delete(s.tables[table], key)
+	return nil
+}
+
+func (s *RowStore) Keys(table string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t := s.tables[table]
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *RowStore) Scan(table string, fn func(key string, value []byte) bool) error {
+	keys, err := s.Keys(table)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		v, ok, err := s.Get(table, k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // deleted concurrently
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *RowStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Len reports the number of rows in a table.
+func (s *RowStore) Len(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// Snapshot serialises the whole store to w as a WAL stream of puts, suitable
+// for Replay.
+func (s *RowStore) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	enc := gob.NewEncoder(w)
+	tables := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		keys := make([]string, 0, len(s.tables[t]))
+		for k := range s.tables[t] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := enc.Encode(walRecord{Op: 'P', Table: t, Key: k, Value: s.tables[t][k]}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Replay applies a WAL or snapshot stream from r into the store.
+func (s *RowStore) Replay(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("db: replay: %w", err)
+		}
+		var err error
+		switch rec.Op {
+		case 'P':
+			err = s.Put(rec.Table, rec.Key, rec.Value)
+		case 'D':
+			err = s.Delete(rec.Table, rec.Key)
+		default:
+			err = fmt.Errorf("db: replay: unknown op %q", rec.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Clone copies the store's contents into a fresh RowStore (no WAL).
+func (s *RowStore) Clone() *RowStore {
+	var buf bytes.Buffer
+	out := NewRowStore()
+	if err := s.Snapshot(&buf); err != nil {
+		return out
+	}
+	_ = out.Replay(&buf)
+	return out
+}

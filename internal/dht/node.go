@@ -1,0 +1,401 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+)
+
+// findSuccessor routes from n to the live node responsible for id.
+// Routing is iterative: at each step the current node either answers with
+// its successor or forwards to the closest preceding live finger.
+func (n *Node) findSuccessor(id ID) (nodeRef, error) {
+	cur := n
+	for hop := 0; hop < 4*fingerBits; hop++ {
+		succ, err := cur.liveSuccessor()
+		if err != nil {
+			return nodeRef{}, err
+		}
+		if between(id, cur.id, succ.id) {
+			return succ, nil
+		}
+		nextRef := cur.closestPreceding(id)
+		if nextRef.name == cur.name {
+			// Fingers degenerate (small or freshly repaired ring): walk the
+			// successor pointer instead of looping forever.
+			next, err := cur.ring.resolve(succ)
+			if err != nil {
+				return nodeRef{}, err
+			}
+			cur = next
+			continue
+		}
+		next, err := cur.ring.resolve(nextRef)
+		if err != nil {
+			// Stale finger to a dead node: drop it and retry from here.
+			cur.dropRef(nextRef)
+			continue
+		}
+		cur = next
+	}
+	return nodeRef{}, fmt.Errorf("dht: lookup for %d did not converge", id)
+}
+
+// liveSuccessor returns the first live entry of the successor list,
+// repairing the list as dead successors are discovered.
+func (n *Node) liveSuccessor() (nodeRef, error) {
+	n.mu.RLock()
+	succs := append([]nodeRef(nil), n.successors...)
+	n.mu.RUnlock()
+	for _, s := range succs {
+		if s.name == n.name {
+			return s, nil
+		}
+		if _, err := n.ring.resolve(s); err == nil {
+			return s, nil
+		}
+		n.dropRef(s)
+	}
+	// All successors dead: point at self so the ring can re-form around us.
+	self := n.ref()
+	n.mu.Lock()
+	n.successors = []nodeRef{self}
+	n.mu.Unlock()
+	return self, nil
+}
+
+// closestPreceding returns the closest known node preceding id, consulting
+// fingers and the successor list.
+func (n *Node) closestPreceding(id ID) nodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for i := fingerBits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f != nil && betweenOpen(f.id, n.id, id) {
+			return *f
+		}
+	}
+	for i := len(n.successors) - 1; i >= 0; i-- {
+		s := n.successors[i]
+		if betweenOpen(s.id, n.id, id) {
+			return s
+		}
+	}
+	return n.ref()
+}
+
+// dropRef removes every occurrence of a (dead) reference from the node's
+// routing state.
+func (n *Node) dropRef(dead nodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.successors[:0]
+	for _, s := range n.successors {
+		if s.name != dead.name {
+			kept = append(kept, s)
+		}
+	}
+	n.successors = kept
+	if len(n.successors) == 0 {
+		n.successors = []nodeRef{n.ref()}
+	}
+	for i, f := range n.fingers {
+		if f != nil && f.name == dead.name {
+			n.fingers[i] = nil
+		}
+	}
+	if n.predecessor != nil && n.predecessor.name == dead.name {
+		n.predecessor = nil
+	}
+}
+
+// stabilize runs one Chord stabilization step: verify the immediate
+// successor, adopt a closer one if the successor's predecessor lies between,
+// then notify the successor and refresh the successor list.
+func (n *Node) stabilize() {
+	succRef, err := n.liveSuccessor()
+	if err != nil {
+		return
+	}
+	// Classic Chord step: if our successor's predecessor lies between us
+	// and the successor, adopt it. When the successor is ourselves (a ring
+	// of one that another node has joined), betweenOpen's degenerate
+	// (a, a) interval admits any other node, which bootstraps the ring.
+	if succ, err := n.ring.resolve(succRef); err == nil {
+		succ.mu.RLock()
+		pred := succ.predecessor
+		succ.mu.RUnlock()
+		if pred != nil && betweenOpen(pred.id, n.id, succRef.id) {
+			if _, err := n.ring.resolve(*pred); err == nil {
+				succRef = *pred
+			}
+		}
+	}
+	// Adopt (possibly new) successor and rebuild the successor list by
+	// walking successor pointers.
+	list := []nodeRef{succRef}
+	cur := succRef
+	for len(list) < successorFan {
+		if cur.name == n.name {
+			break
+		}
+		node, err := n.ring.resolve(cur)
+		if err != nil {
+			break
+		}
+		node.mu.RLock()
+		var next nodeRef
+		if len(node.successors) > 0 {
+			next = node.successors[0]
+		} else {
+			next = node.ref()
+		}
+		node.mu.RUnlock()
+		if next.name == list[0].name || next.name == n.name {
+			break
+		}
+		dup := false
+		for _, l := range list {
+			if l.name == next.name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break
+		}
+		list = append(list, next)
+		cur = next
+	}
+	n.mu.Lock()
+	n.successors = list
+	n.mu.Unlock()
+	if succRef.name != n.name {
+		if succ, err := n.ring.resolve(succRef); err == nil {
+			succ.notify(n.ref())
+		}
+	}
+}
+
+// notify tells the node that candidate might be its predecessor.
+func (n *Node) notify(candidate nodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if candidate.name == n.name {
+		return
+	}
+	if n.predecessor == nil || betweenOpen(candidate.id, n.predecessor.id, n.id) {
+		c := candidate
+		n.predecessor = &c
+	}
+}
+
+// fixFingers refreshes one finger table entry per call, cycling through the
+// table across calls (the classic Chord schedule).
+func (n *Node) fixFingers() {
+	n.mu.Lock()
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % fingerBits
+	n.mu.Unlock()
+	target := n.id + (ID(1) << uint(i))
+	ref, err := n.findSuccessor(target)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	r := ref
+	n.fingers[i] = &r
+	n.mu.Unlock()
+}
+
+// handOff extracts and removes the entries this node no longer owns after a
+// node with the given id joined as its predecessor: keys in (pred, newID].
+func (n *Node) handOff(newID ID) map[string]map[string]struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]map[string]struct{})
+	for k, vals := range n.store {
+		kid := HashID(k)
+		if !between(kid, newID, n.id) { // no longer in (newID, n]: hand off
+			out[k] = vals
+			delete(n.store, k)
+		}
+	}
+	return out
+}
+
+// putLocal adds value to the key's set on this node.
+func (n *Node) putLocal(key, value string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	set := n.store[key]
+	if set == nil {
+		set = make(map[string]struct{})
+		n.store[key] = set
+	}
+	set[value] = struct{}{}
+}
+
+// getLocal returns the key's value set on this node.
+func (n *Node) getLocal(key string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	set := n.store[key]
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// removeLocal removes value from the key's set on this node.
+func (n *Node) removeLocal(key, value string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if set := n.store[key]; set != nil {
+		delete(set, value)
+		if len(set) == 0 {
+			delete(n.store, key)
+		}
+	}
+}
+
+// keysLocal returns the number of keys stored on this node.
+func (n *Node) keysLocal() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.store)
+}
+
+// replicaTargets returns the responsible node for key plus repFac-1 of its
+// successors.
+func (r *Ring) replicaTargets(key string) ([]nodeRef, error) {
+	entry, err := r.anyNode()
+	if err != nil {
+		return nil, err
+	}
+	primary, err := entry.findSuccessor(HashID(key))
+	if err != nil {
+		return nil, err
+	}
+	targets := []nodeRef{primary}
+	cur := primary
+	for len(targets) < r.repFac {
+		node, err := r.resolve(cur)
+		if err != nil {
+			break
+		}
+		next, err := node.liveSuccessor()
+		if err != nil || next.name == primary.name {
+			break
+		}
+		dup := false
+		for _, t := range targets {
+			if t.name == next.name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break
+		}
+		targets = append(targets, next)
+		cur = next
+	}
+	return targets, nil
+}
+
+// Put publishes (key, value) into the DHT, replicating the entry on the
+// responsible node and its successors. For the DDC, key is the data UID and
+// value the owning host identifier.
+func (r *Ring) Put(key, value string) error {
+	targets, err := r.replicaTargets(key)
+	if err != nil {
+		return err
+	}
+	stored := 0
+	for _, t := range targets {
+		node, err := r.resolve(t)
+		if err != nil {
+			continue
+		}
+		node.putLocal(key, value)
+		stored++
+	}
+	if stored == 0 {
+		return fmt.Errorf("dht: put %s: no live replica target", key)
+	}
+	return nil
+}
+
+// Get returns the merged value set for key across its replica group.
+func (r *Ring) Get(key string) ([]string, error) {
+	targets, err := r.replicaTargets(key)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[string]struct{})
+	queried := 0
+	for _, t := range targets {
+		node, err := r.resolve(t)
+		if err != nil {
+			continue
+		}
+		queried++
+		for _, v := range node.getLocal(key) {
+			merged[v] = struct{}{}
+		}
+	}
+	if queried == 0 {
+		return nil, fmt.Errorf("dht: get %s: no live replica target", key)
+	}
+	out := make([]string, 0, len(merged))
+	for v := range merged {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove withdraws (key, value) from the replica group.
+func (r *Ring) Remove(key, value string) error {
+	targets, err := r.replicaTargets(key)
+	if err != nil {
+		return err
+	}
+	for _, t := range targets {
+		if node, err := r.resolve(t); err == nil {
+			node.removeLocal(key, value)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the name of the node responsible for key.
+func (r *Ring) Lookup(key string) (string, error) {
+	entry, err := r.anyNode()
+	if err != nil {
+		return "", err
+	}
+	ref, err := entry.findSuccessor(HashID(key))
+	if err != nil {
+		return "", err
+	}
+	return ref.name, nil
+}
+
+// LoadByNode reports how many keys each live node stores, exposing the load
+// balancing the paper credits the DDC with.
+func (r *Ring) LoadByNode() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int)
+	for _, n := range r.nodes {
+		n.mu.RLock()
+		if n.alive {
+			out[n.name] = len(n.store)
+		}
+		n.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is one connection to an ftp Server. It is not safe for concurrent
+// use; the Data Transfer service opens one client per transfer.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to the server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("ftp: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// readStatus parses an OK/ERR line, returning OK's arguments.
+func (c *Client) readStatus() ([]string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("ftp: reading status: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "OK":
+		return nil, nil
+	case strings.HasPrefix(line, "OK "):
+		return strings.Fields(line[3:]), nil
+	case strings.HasPrefix(line, "ERR"):
+		return nil, fmt.Errorf("ftp: server: %s", strings.TrimSpace(strings.TrimPrefix(line, "ERR")))
+	default:
+		return nil, fmt.Errorf("ftp: malformed status %q", line)
+	}
+}
+
+// Size returns the remote size of ref.
+func (c *Client) Size(ref string) (int64, error) {
+	if _, err := fmt.Fprintf(c.w, "SIZE %s\n", ref); err != nil {
+		return 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	args, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	if len(args) != 1 {
+		return 0, fmt.Errorf("ftp: SIZE answered %v", args)
+	}
+	return strconv.ParseInt(args[0], 10, 64)
+}
+
+// Retrieve downloads ref starting at offset, writing the payload to w.
+// It returns the number of payload bytes written, enabling the caller to
+// resume from offset+n after a partial failure.
+func (c *Client) Retrieve(ref string, offset int64, w io.Writer) (int64, error) {
+	if _, err := fmt.Fprintf(c.w, "RETR %s %d\n", ref, offset); err != nil {
+		return 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	args, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	if len(args) != 1 {
+		return 0, fmt.Errorf("ftp: RETR answered %v", args)
+	}
+	n, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ftp: RETR length: %w", err)
+	}
+	written, err := io.CopyN(w, c.r, n)
+	if err != nil {
+		return written, fmt.Errorf("ftp: payload after %d/%d bytes: %w", written, n, err)
+	}
+	return written, nil
+}
+
+// Store uploads n bytes from r into ref at offset. Offset zero truncates the
+// remote file; a non-zero offset must match the remote size (resume).
+func (c *Client) Store(ref string, offset, n int64, r io.Reader) error {
+	if _, err := fmt.Fprintf(c.w, "STOR %s %d %d\n", ref, offset, n); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if _, err := c.readStatus(); err != nil {
+		return err
+	}
+	if _, err := io.CopyN(c.w, r, n); err != nil {
+		return fmt.Errorf("ftp: upload payload: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("ftp: awaiting DONE: %w", err)
+	}
+	if strings.TrimSpace(line) != "DONE" {
+		return fmt.Errorf("ftp: upload not acknowledged: %q", line)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package ftp implements the client/server file-transfer protocol of the
+// BitDew back-end layer. The original prototype drove a ProFTPD server
+// through the apache commons-net FTP client; this package provides an
+// equivalent single-source transfer protocol over TCP with the properties
+// the Data Transfer service relies on: per-file addressing, SIZE probing
+// and offset-based resume of interrupted transfers in both directions.
+//
+// Wire protocol (one text command line, then optional binary payload):
+//
+//	SIZE <ref>\n                 -> OK <n>\n | ERR <msg>\n
+//	RETR <ref> <offset>\n        -> OK <n>\n then n raw bytes
+//	STOR <ref> <offset> <n>\n    -> OK\n, client sends n bytes, -> DONE\n
+//	QUIT\n                       -> connection closes
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bitdew/internal/repository"
+)
+
+// DefaultChunk is the transfer chunk size.
+const DefaultChunk = 64 * 1024
+
+// Server serves a repository backend over the FTP-like protocol.
+type Server struct {
+	backend repository.Backend
+	lis     net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// Throttle, when positive, caps per-connection throughput in bytes/s;
+	// benchmarks use it to emulate constrained server uplinks.
+	throttle int64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithThrottle caps each connection's send rate at bps bytes per second.
+func WithThrottle(bps int64) Option {
+	return func(s *Server) { s.throttle = bps }
+}
+
+// NewServer starts serving backend on addr ("127.0.0.1:0" picks a port).
+func NewServer(backend repository.Backend, addr string, opts ...Option) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ftp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		backend: backend,
+		lis:     lis,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and severs open connections.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "SIZE":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR SIZE wants 1 arg\n")
+				break
+			}
+			n, err := s.backend.Size(fields[1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", n)
+		case "RETR":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR RETR wants 2 args\n")
+				break
+			}
+			off, perr := strconv.ParseInt(fields[2], 10, 64)
+			if perr != nil {
+				fmt.Fprintf(w, "ERR bad offset\n")
+				break
+			}
+			if err := s.retr(w, fields[1], off); err != nil {
+				return // stream broken mid-payload; abandon connection
+			}
+		case "STOR":
+			if len(fields) != 4 {
+				fmt.Fprintf(w, "ERR STOR wants 3 args\n")
+				break
+			}
+			off, e1 := strconv.ParseInt(fields[2], 10, 64)
+			n, e2 := strconv.ParseInt(fields[3], 10, 64)
+			if e1 != nil || e2 != nil || off < 0 || n < 0 {
+				fmt.Fprintf(w, "ERR bad offset or length\n")
+				break
+			}
+			if err := s.stor(r, w, fields[1], off, n); err != nil {
+				return
+			}
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %s\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// retr streams ref from offset to the client.
+func (s *Server) retr(w *bufio.Writer, ref string, off int64) error {
+	size, err := s.backend.Size(ref)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return w.Flush()
+	}
+	if off < 0 || off > size {
+		fmt.Fprintf(w, "ERR offset %d out of range\n", off)
+		return w.Flush()
+	}
+	remaining := size - off
+	if _, err := fmt.Fprintf(w, "OK %d\n", remaining); err != nil {
+		return err
+	}
+	limiter := newThrottle(s.throttle)
+	for remaining > 0 {
+		chunkLen := int64(DefaultChunk)
+		if chunkLen > remaining {
+			chunkLen = remaining
+		}
+		chunk, err := s.backend.GetRange(ref, off, chunkLen)
+		if err != nil {
+			return err
+		}
+		if len(chunk) == 0 {
+			return fmt.Errorf("ftp: content of %s shrank mid-transfer", ref)
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		off += int64(len(chunk))
+		remaining -= int64(len(chunk))
+		limiter.wait(int64(len(chunk)))
+	}
+	return w.Flush()
+}
+
+// stor receives n bytes into ref at offset. A non-zero offset must equal the
+// current stored size (append-resume); offset zero restarts the file.
+func (s *Server) stor(r *bufio.Reader, w *bufio.Writer, ref string, off, n int64) error {
+	cur, err := s.backend.Size(ref)
+	if err != nil {
+		cur = 0
+	}
+	if off == 0 {
+		if err := s.backend.Put(ref, nil); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return w.Flush()
+		}
+	} else if off != cur {
+		fmt.Fprintf(w, "ERR resume offset %d does not match stored size %d\n", off, cur)
+		return w.Flush()
+	}
+	if _, err := fmt.Fprintf(w, "OK\n"); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	buf := make([]byte, DefaultChunk)
+	remaining := n
+	for remaining > 0 {
+		chunkLen := int64(len(buf))
+		if chunkLen > remaining {
+			chunkLen = remaining
+		}
+		read, err := io.ReadFull(r, buf[:chunkLen])
+		if read > 0 {
+			if aerr := s.backend.Append(ref, buf[:read]); aerr != nil {
+				return aerr
+			}
+			remaining -= int64(read)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "DONE\n")
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// throttleState paces writes to a target rate.
+type throttleState struct {
+	bps   int64
+	start time.Time
+	sent  int64
+}
+
+func newThrottle(bps int64) *throttleState {
+	return &throttleState{bps: bps, start: time.Now()}
+}
+
+// wait sleeps long enough that cumulative throughput stays at or below bps.
+func (t *throttleState) wait(n int64) {
+	if t.bps <= 0 {
+		return
+	}
+	t.sent += n
+	due := time.Duration(float64(t.sent) / float64(t.bps) * float64(time.Second))
+	elapsed := time.Since(t.start)
+	if due > elapsed {
+		time.Sleep(due - elapsed)
+	}
+}

@@ -1,0 +1,282 @@
+// Package httpx is BitDew's HTTP transfer back-end: repository content
+// served over plain HTTP with Range support for resume, plus PUT uploads.
+// The paper recommends HTTP/FTP for small, unique files (e.g. the BLAST
+// query sequences of §5) where collaborative protocols pay more overhead
+// than they recover.
+package httpx
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bitdew/internal/repository"
+)
+
+// Server serves a repository backend over HTTP at /data/<ref>.
+type Server struct {
+	backend repository.Backend
+	lis     net.Listener
+	srv     *http.Server
+}
+
+// NewServer starts an HTTP transfer server on addr.
+func NewServer(backend repository.Backend, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: listen %s: %w", addr, err)
+	}
+	s := &Server{backend: backend, lis: lis}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/data/", s.handle)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	ref := strings.TrimPrefix(r.URL.Path, "/data/")
+	if ref == "" {
+		http.Error(w, "missing ref", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodHead:
+		size, err := s.backend.Size(ref)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.Header().Set("Accept-Ranges", "bytes")
+	case http.MethodGet:
+		s.get(w, r, ref)
+	case http.MethodPut:
+		s.put(w, r, ref)
+	case http.MethodDelete:
+		if err := s.backend.Delete(ref); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request, ref string) {
+	size, err := s.backend.Size(ref)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	off := int64(0)
+	end := size // exclusive
+	status := http.StatusOK
+	if rng := r.Header.Get("Range"); rng != "" {
+		var parseErr error
+		off, end, parseErr = parseRange(rng, size)
+		if parseErr != nil {
+			http.Error(w, parseErr.Error(), http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		status = http.StatusPartialContent
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, end-1, size))
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", strconv.FormatInt(end-off, 10))
+	w.WriteHeader(status)
+	const chunk = 64 * 1024
+	for off < end {
+		n := int64(chunk)
+		if n > end-off {
+			n = end - off
+		}
+		payload, err := s.backend.GetRange(ref, off, n)
+		if err != nil || len(payload) == 0 {
+			return
+		}
+		if _, err := w.Write(payload); err != nil {
+			return
+		}
+		off += int64(len(payload))
+	}
+}
+
+// parseRange handles the single-range form "bytes=from-[to]".
+func parseRange(header string, size int64) (off, end int64, err error) {
+	spec, ok := strings.CutPrefix(header, "bytes=")
+	if !ok || strings.Contains(spec, ",") {
+		return 0, 0, fmt.Errorf("httpx: unsupported range %q", header)
+	}
+	from, to, ok := strings.Cut(spec, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("httpx: malformed range %q", header)
+	}
+	off, err = strconv.ParseInt(strings.TrimSpace(from), 10, 64)
+	if err != nil || off < 0 || off > size {
+		return 0, 0, fmt.Errorf("httpx: bad range start %q for size %d", from, size)
+	}
+	end = size
+	if t := strings.TrimSpace(to); t != "" {
+		last, err := strconv.ParseInt(t, 10, 64)
+		if err != nil || last < off {
+			return 0, 0, fmt.Errorf("httpx: bad range end %q", to)
+		}
+		end = last + 1
+		if end > size {
+			end = size
+		}
+	}
+	return off, end, nil
+}
+
+func (s *Server) put(w http.ResponseWriter, r *http.Request, ref string) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Content-Range "bytes <off>-*/*" appends at off (resume); absent means
+	// whole-file upload.
+	if cr := r.Header.Get("Content-Range"); cr != "" {
+		fields := strings.Fields(strings.TrimPrefix(cr, "bytes"))
+		if len(fields) == 0 {
+			http.Error(w, "malformed Content-Range", http.StatusBadRequest)
+			return
+		}
+		from, _, _ := strings.Cut(fields[0], "-")
+		off, err := strconv.ParseInt(from, 10, 64)
+		if err != nil {
+			http.Error(w, "malformed Content-Range offset", http.StatusBadRequest)
+			return
+		}
+		cur, serr := s.backend.Size(ref)
+		if serr != nil {
+			cur = 0
+		}
+		if off != cur {
+			http.Error(w, fmt.Sprintf("resume offset %d != stored size %d", off, cur), http.StatusConflict)
+			return
+		}
+		if err := s.backend.Append(ref, body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		if err := s.backend.Put(ref, body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Client fetches and uploads repository content over HTTP.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient returns a transfer client with sane timeouts.
+func NewClient() *Client {
+	return &Client{hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+func url(addr, ref string) string { return "http://" + addr + "/data/" + ref }
+
+// Size returns the remote size of ref on addr.
+func (c *Client) Size(addr, ref string) (int64, error) {
+	resp, err := c.hc.Head(url(addr, ref))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpx: HEAD %s: %s", ref, resp.Status)
+	}
+	return strconv.ParseInt(resp.Header.Get("Content-Length"), 10, 64)
+}
+
+// Get downloads ref from addr starting at offset, writing payload to w and
+// returning the number of bytes written.
+func (c *Client) Get(addr, ref string, offset int64, w io.Writer) (int64, error) {
+	req, err := http.NewRequest(http.MethodGet, url(addr, ref), nil)
+	if err != nil {
+		return 0, err
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return 0, fmt.Errorf("httpx: GET %s: %s", ref, resp.Status)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// Put uploads content as the whole of ref on addr.
+func (c *Client) Put(addr, ref string, content io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, url(addr, ref), content)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("httpx: PUT %s: %s", ref, resp.Status)
+	}
+	return nil
+}
+
+// Append uploads chunk at offset of ref (resume); offset must match the
+// currently stored size.
+func (c *Client) Append(addr, ref string, offset int64, chunk io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, url(addr, ref), chunk)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-*/*", offset))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("httpx: PUT(range) %s: %s", ref, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes ref on addr.
+func (c *Client) Delete(addr, ref string) error {
+	req, err := http.NewRequest(http.MethodDelete, url(addr, ref), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("httpx: DELETE %s: %s", ref, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package httpx
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bitdew/internal/repository"
+)
+
+func newServer(t *testing.T) (*Server, repository.Backend) {
+	t.Helper()
+	backend := repository.NewMemBackend()
+	srv, err := NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, backend
+}
+
+func randBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestGetWhole(t *testing.T) {
+	srv, backend := newServer(t)
+	content := randBytes(150_000, 1)
+	backend.Put("f", content)
+
+	c := NewClient()
+	size, err := c.Size(srv.Addr(), "f")
+	if err != nil || size != int64(len(content)) {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	var buf bytes.Buffer
+	n, err := c.Get(srv.Addr(), "f", 0, &buf)
+	if err != nil || n != int64(len(content)) || !bytes.Equal(buf.Bytes(), content) {
+		t.Fatalf("Get = %d bytes, %v", n, err)
+	}
+}
+
+func TestGetResumeFromOffset(t *testing.T) {
+	srv, backend := newServer(t)
+	content := randBytes(90_000, 2)
+	backend.Put("f", content)
+
+	c := NewClient()
+	var buf bytes.Buffer
+	buf.Write(content[:30_000]) // pretend the first 30k arrived before a crash
+	n, err := c.Get(srv.Addr(), "f", 30_000, &buf)
+	if err != nil || n != 60_000 {
+		t.Fatalf("resume Get = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), content) {
+		t.Fatal("resumed content mismatch")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	srv, _ := newServer(t)
+	c := NewClient()
+	var buf bytes.Buffer
+	if _, err := c.Get(srv.Addr(), "missing", 0, &buf); err == nil {
+		t.Error("Get of missing ref succeeded")
+	}
+	if _, err := c.Size(srv.Addr(), "missing"); err == nil {
+		t.Error("Size of missing ref succeeded")
+	}
+}
+
+func TestPutWholeAndDelete(t *testing.T) {
+	srv, backend := newServer(t)
+	content := randBytes(40_000, 3)
+	c := NewClient()
+	if err := c.Put(srv.Addr(), "up", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := backend.Get("up")
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("stored: %d bytes, %v", len(got), err)
+	}
+	if err := c.Delete(srv.Addr(), "up"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Get("up"); err == nil {
+		t.Error("content survived DELETE")
+	}
+}
+
+func TestAppendResumeUpload(t *testing.T) {
+	srv, backend := newServer(t)
+	content := randBytes(64_000, 4)
+	c := NewClient()
+	if err := c.Put(srv.Addr(), "up", bytes.NewReader(content[:20_000])); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(srv.Addr(), "up", 20_000, bytes.NewReader(content[20_000:])); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := backend.Get("up")
+	if !bytes.Equal(got, content) {
+		t.Fatal("append-resumed content mismatch")
+	}
+	// Wrong offset refused.
+	if err := c.Append(srv.Addr(), "up", 5, bytes.NewReader([]byte("x"))); err == nil {
+		t.Error("append at wrong offset accepted")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		header   string
+		size     int64
+		off, end int64
+		wantErr  bool
+	}{
+		{"bytes=0-", 100, 0, 100, false},
+		{"bytes=10-", 100, 10, 100, false},
+		{"bytes=10-19", 100, 10, 20, false},
+		{"bytes=10-999", 100, 10, 100, false},
+		{"bytes=100-", 100, 100, 100, false}, // empty tail is satisfiable
+		{"bytes=101-", 100, 0, 0, true},
+		{"bytes=-5", 100, 0, 0, true},
+		{"bytes=5-2", 100, 0, 0, true},
+		{"bytes=0-5,10-12", 100, 0, 0, true},
+		{"bits=0-5", 100, 0, 0, true},
+	}
+	for _, tc := range cases {
+		off, end, err := parseRange(tc.header, tc.size)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseRange(%q): err = %v, wantErr %v", tc.header, err, tc.wantErr)
+			continue
+		}
+		if err == nil && (off != tc.off || end != tc.end) {
+			t.Errorf("parseRange(%q) = (%d,%d), want (%d,%d)", tc.header, off, end, tc.off, tc.end)
+		}
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	srv, backend := newServer(t)
+	content := randBytes(120_000, 5)
+	backend.Put("shared", content)
+	c := NewClient()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if _, err := c.Get(srv.Addr(), "shared", 0, &buf); err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), content) {
+				t.Error("content mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,106 @@
+// Package swarm implements BitDew's collaborative content-distribution
+// protocol, standing in for the BitTorrent back-end (BTPD / Azureus) of the
+// original prototype. Content is split into pieces, each peer advertises a
+// bitfield of the pieces it holds, and leechers fetch pieces rarest-first
+// from whichever peers already have them — including other leechers — so a
+// broadcast to n nodes does not funnel through the seeder's uplink. This is
+// the property behind the paper's Figure 3a and Figure 5 results, where
+// BitTorrent's completion time stays nearly flat as nodes are added while
+// FTP's grows linearly.
+package swarm
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+)
+
+// DefaultPieceSize is the piece length used when none is specified.
+const DefaultPieceSize = 256 * 1024
+
+// Metainfo describes a swarmed file: identity, size and piece hashes. It is
+// the equivalent of a .torrent file and travels through the Data Catalog as
+// part of the datum's locator.
+type Metainfo struct {
+	// InfoHash identifies the swarm; BitDew uses the datum's MD5 checksum,
+	// which doubles as whole-file integrity verification.
+	InfoHash string
+	// Ref is the repository reference (the data UID).
+	Ref string
+	// Size is the content length in bytes.
+	Size int64
+	// PieceSize is the length of every piece except possibly the last.
+	PieceSize int64
+	// PieceHashes holds the hex MD5 of each piece.
+	PieceHashes []string
+}
+
+// NewMetainfo computes the metainfo of content.
+func NewMetainfo(ref string, content []byte, pieceSize int64) Metainfo {
+	if pieceSize <= 0 {
+		pieceSize = DefaultPieceSize
+	}
+	whole := md5.Sum(content)
+	m := Metainfo{
+		InfoHash:  hex.EncodeToString(whole[:]),
+		Ref:       ref,
+		Size:      int64(len(content)),
+		PieceSize: pieceSize,
+	}
+	for off := int64(0); off < m.Size; off += pieceSize {
+		end := off + pieceSize
+		if end > m.Size {
+			end = m.Size
+		}
+		sum := md5.Sum(content[off:end])
+		m.PieceHashes = append(m.PieceHashes, hex.EncodeToString(sum[:]))
+	}
+	if m.Size == 0 {
+		m.PieceHashes = nil
+	}
+	return m
+}
+
+// NumPieces returns the number of pieces.
+func (m Metainfo) NumPieces() int { return len(m.PieceHashes) }
+
+// PieceLength returns the byte length of piece i.
+func (m Metainfo) PieceLength(i int) int64 {
+	if i < 0 || i >= m.NumPieces() {
+		return 0
+	}
+	if i == m.NumPieces()-1 {
+		if rem := m.Size % m.PieceSize; rem != 0 {
+			return rem
+		}
+	}
+	return m.PieceSize
+}
+
+// VerifyPiece checks piece i's content against its recorded hash.
+func (m Metainfo) VerifyPiece(i int, content []byte) bool {
+	if i < 0 || i >= m.NumPieces() {
+		return false
+	}
+	if int64(len(content)) != m.PieceLength(i) {
+		return false
+	}
+	sum := md5.Sum(content)
+	return hex.EncodeToString(sum[:]) == m.PieceHashes[i]
+}
+
+// Validate reports the first structural problem with the metainfo.
+func (m Metainfo) Validate() error {
+	if m.InfoHash == "" {
+		return fmt.Errorf("swarm: metainfo missing infohash")
+	}
+	if m.PieceSize <= 0 {
+		return fmt.Errorf("swarm: non-positive piece size")
+	}
+	want := int((m.Size + m.PieceSize - 1) / m.PieceSize)
+	if m.NumPieces() != want {
+		return fmt.Errorf("swarm: %d piece hashes for size %d / piece %d (want %d)",
+			m.NumPieces(), m.Size, m.PieceSize, want)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package repository implements BitDew's Data Repository service (DR,
+// paper §3.4.2): the interface between the data space and persistent
+// storage, plus the remote-access descriptions (Locators) that let other
+// nodes fetch permanent copies out-of-band. The DR wraps a storage Backend
+// the way the original wraps a legacy file server or local file system, so
+// BitDew can be mapped onto an existing infrastructure.
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoContent is returned when a ref has no stored content.
+var ErrNoContent = errors.New("repository: no content")
+
+// Backend is persistent content storage addressed by reference strings
+// (BitDew uses data UIDs as refs). Backends must support random-access
+// reads and append-style writes so transfer protocols can resume
+// interrupted transfers at an offset.
+type Backend interface {
+	// Put stores content under ref, replacing any previous content.
+	Put(ref string, content []byte) error
+	// Append extends ref's content; used by resuming receivers. Appending
+	// to an absent ref creates it.
+	Append(ref string, chunk []byte) error
+	// Get returns the full content of ref.
+	Get(ref string) ([]byte, error)
+	// GetRange returns up to n bytes of ref starting at off. Fewer bytes
+	// are returned only at end of content.
+	GetRange(ref string, off, n int64) ([]byte, error)
+	// Size returns the stored length of ref, or ErrNoContent.
+	Size(ref string) (int64, error)
+	// Delete removes ref; deleting an absent ref is not an error.
+	Delete(ref string) error
+	// Refs lists stored references in sorted order.
+	Refs() ([]string, error)
+}
+
+// MemBackend stores content in memory; it is the reservoir-host cache of
+// the prototype and the default backend in tests and simulations.
+type MemBackend struct {
+	mu      sync.RWMutex
+	content map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{content: make(map[string][]byte)}
+}
+
+func (b *MemBackend) Put(ref string, content []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.content[ref] = append([]byte(nil), content...)
+	return nil
+}
+
+func (b *MemBackend) Append(ref string, chunk []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.content[ref] = append(b.content[ref], chunk...)
+	return nil
+}
+
+func (b *MemBackend) Get(ref string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.content[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	return append([]byte(nil), c...), nil
+}
+
+func (b *MemBackend) GetRange(ref string, off, n int64) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.content[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	if off < 0 || off > int64(len(c)) {
+		return nil, fmt.Errorf("repository: range [%d,+%d) out of bounds for %s (len %d)", off, n, ref, len(c))
+	}
+	end := off + n
+	if end > int64(len(c)) {
+		end = int64(len(c))
+	}
+	return append([]byte(nil), c[off:end]...), nil
+}
+
+func (b *MemBackend) Size(ref string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.content[ref]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	return int64(len(c)), nil
+}
+
+func (b *MemBackend) Delete(ref string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.content, ref)
+	return nil
+}
+
+func (b *MemBackend) Refs() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.content))
+	for r := range b.content {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirBackend stores each ref as a file under a root directory, the way the
+// original DR wraps a local file system. Refs are sanitised into flat file
+// names to keep traversal out.
+type DirBackend struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewDirBackend creates (if needed) and wraps a directory.
+func NewDirBackend(root string) (*DirBackend, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	return &DirBackend{root: root}, nil
+}
+
+// path maps a ref to a safe file path.
+func (b *DirBackend) path(ref string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_' || r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, ref)
+	return filepath.Join(b.root, safe)
+}
+
+func (b *DirBackend) Put(ref string, content []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.WriteFile(b.path(ref), content, 0o644)
+}
+
+func (b *DirBackend) Append(ref string, chunk []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := os.OpenFile(b.path(ref), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(chunk)
+	return err
+}
+
+func (b *DirBackend) Get(ref string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, err := os.ReadFile(b.path(ref))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	return c, err
+}
+
+func (b *DirBackend) GetRange(ref string, off, n int64) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	f, err := os.Open(b.path(ref))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > st.Size() {
+		return nil, fmt.Errorf("repository: range [%d,+%d) out of bounds for %s (len %d)", off, n, ref, st.Size())
+	}
+	end := off + n
+	if end > st.Size() {
+		end = st.Size()
+	}
+	buf := make([]byte, end-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (b *DirBackend) Size(ref string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	st, err := os.Stat(b.path(ref))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNoContent, ref)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (b *DirBackend) Delete(ref string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err := os.Remove(b.path(ref))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+func (b *DirBackend) Refs() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	entries, err := os.ReadDir(b.root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bitdew/internal/data"
+	"bitdew/internal/rpc"
+)
+
+// ServiceName is the rpc service name of the Data Repository.
+const ServiceName = "dr"
+
+// Service is the Data Repository: persistent storage for permanent copies,
+// plus the mapping from transfer-protocol names to the endpoints serving
+// this storage. Protocol servers (ftp, http, bittorrent seeders) are
+// started around the same Backend and registered here; the DR then answers
+// "how do I fetch / where do I store datum X over protocol P" with a
+// Locator (paper §3.4.2).
+type Service struct {
+	backend Backend
+
+	mu        sync.RWMutex
+	endpoints map[string]string // protocol -> host:port
+	// locatorHook, when set, runs before a locator is issued; the service
+	// container uses it to lazily start protocol servers that need
+	// per-datum state (e.g. a swarm seeder for "bittorrent").
+	locatorHook func(uid data.UID, protocol string) error
+}
+
+// NewService wraps a storage backend as a Data Repository.
+func NewService(backend Backend) *Service {
+	return &Service{backend: backend, endpoints: make(map[string]string)}
+}
+
+// Backend exposes the repository's storage to co-located protocol servers.
+func (s *Service) Backend() Backend { return s.backend }
+
+// RegisterEndpoint announces that protocol is served at addr for this
+// repository's content.
+func (s *Service) RegisterEndpoint(protocol, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[protocol] = addr
+}
+
+// Protocols lists the protocols this repository serves, sorted.
+func (s *Service) Protocols() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.endpoints))
+	for p := range s.endpoints {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLocatorHook installs a callback invoked before each locator is issued.
+func (s *Service) SetLocatorHook(fn func(uid data.UID, protocol string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locatorHook = fn
+}
+
+// Locator builds the remote-access description for uid over protocol. The
+// ref is the data UID: protocol servers address repository content by UID.
+func (s *Service) Locator(uid data.UID, protocol string) (data.Locator, error) {
+	s.mu.RLock()
+	addr, ok := s.endpoints[protocol]
+	hook := s.locatorHook
+	s.mu.RUnlock()
+	if !ok {
+		return data.Locator{}, fmt.Errorf("repository: protocol %q not served (have %v)", protocol, s.Protocols())
+	}
+	if hook != nil {
+		if err := hook(uid, protocol); err != nil {
+			return data.Locator{}, err
+		}
+	}
+	return data.Locator{DataUID: uid, Protocol: protocol, Host: addr, Ref: string(uid)}, nil
+}
+
+// LocatorAny returns a locator over the preferred protocol when served,
+// otherwise over any served protocol (deterministically the first sorted).
+func (s *Service) LocatorAny(uid data.UID, preferred string) (data.Locator, error) {
+	if preferred != "" {
+		if l, err := s.Locator(uid, preferred); err == nil {
+			return l, nil
+		}
+	}
+	protos := s.Protocols()
+	if len(protos) == 0 {
+		return data.Locator{}, fmt.Errorf("repository: no protocol endpoints registered")
+	}
+	return s.Locator(uid, protos[0])
+}
+
+// Has reports whether the repository stores content for uid.
+func (s *Service) Has(uid data.UID) bool {
+	_, err := s.backend.Size(string(uid))
+	return err == nil
+}
+
+// Mount registers the Data Repository methods on an rpc Mux under "dr".
+func (s *Service) Mount(m *rpc.Mux) {
+	type locatorArgs struct {
+		UID      data.UID
+		Protocol string
+	}
+	rpc.Register(m, ServiceName, "Locator", func(a locatorArgs) (data.Locator, error) {
+		return s.Locator(a.UID, a.Protocol)
+	})
+	rpc.Register(m, ServiceName, "LocatorAny", func(a locatorArgs) (data.Locator, error) {
+		return s.LocatorAny(a.UID, a.Protocol)
+	})
+	rpc.Register(m, ServiceName, "Protocols", func(struct{}) ([]string, error) {
+		return s.Protocols(), nil
+	})
+	rpc.Register(m, ServiceName, "Has", func(uid data.UID) (bool, error) {
+		return s.Has(uid), nil
+	})
+	rpc.Register(m, ServiceName, "Delete", func(uid data.UID) (struct{}, error) {
+		return struct{}{}, s.backend.Delete(string(uid))
+	})
+}
+
+// Client is the typed client of a remote Data Repository.
+type Client struct {
+	c rpc.Client
+}
+
+// NewClient wraps an rpc client as a Data Repository client.
+func NewClient(c rpc.Client) *Client { return &Client{c: c} }
+
+type locatorArgs struct {
+	UID      data.UID
+	Protocol string
+}
+
+// Locator asks the DR for a locator of uid over protocol.
+func (c *Client) Locator(uid data.UID, protocol string) (data.Locator, error) {
+	var l data.Locator
+	err := c.c.Call(ServiceName, "Locator", locatorArgs{UID: uid, Protocol: protocol}, &l)
+	return l, err
+}
+
+// LocatorAny asks for a locator over the preferred protocol, falling back
+// to any protocol the DR serves.
+func (c *Client) LocatorAny(uid data.UID, preferred string) (data.Locator, error) {
+	var l data.Locator
+	err := c.c.Call(ServiceName, "LocatorAny", locatorArgs{UID: uid, Protocol: preferred}, &l)
+	return l, err
+}
+
+// Protocols lists the DR's served protocols.
+func (c *Client) Protocols() ([]string, error) {
+	var out []string
+	err := c.c.Call(ServiceName, "Protocols", struct{}{}, &out)
+	return out, err
+}
+
+// Has reports whether the DR stores uid's content.
+func (c *Client) Has(uid data.UID) (bool, error) {
+	var ok bool
+	err := c.c.Call(ServiceName, "Has", uid, &ok)
+	return ok, err
+}
+
+// Delete removes uid's content from the DR.
+func (c *Client) Delete(uid data.UID) error {
+	return c.c.Call(ServiceName, "Delete", uid, nil)
+}

@@ -1,0 +1,168 @@
+// Package rpc is BitDew's communication substrate, standing in for the Java
+// RMI used by the original prototype (paper §3.5). It provides a small
+// request/response protocol with gob encoding over three interchangeable
+// transports:
+//
+//   - local: direct in-process dispatch (the paper's "local" configuration,
+//     where a simple function call replaces client/server communication);
+//   - tcp on loopback: the paper's "RMI local" configuration;
+//   - tcp with injected round-trip latency: the paper's "RMI remote"
+//     configuration when both endpoints live in one test process.
+//
+// Services are registered on a Mux under (service, method) names; the D*
+// services of the runtime environment (Data Catalog, Data Repository, Data
+// Transfer, Data Scheduler) are all served through one Mux, mirroring the
+// paper's service container.
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNoSuchMethod is returned when a call names an unregistered service or
+// method.
+var ErrNoSuchMethod = errors.New("rpc: no such service or method")
+
+// Handler processes one call: gob-encoded arguments in, gob-encoded reply
+// out. Use Register to install strongly-typed handlers.
+type Handler func(args []byte) ([]byte, error)
+
+// Mux routes calls to handlers by service and method name. The zero value is
+// not usable; call NewMux.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]map[string]Handler
+}
+
+// NewMux returns an empty service multiplexer.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]map[string]Handler)}
+}
+
+// Handle installs a raw handler for (service, method), replacing any
+// previous one.
+func (m *Mux) Handle(service, method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm := m.handlers[service]
+	if sm == nil {
+		sm = make(map[string]Handler)
+		m.handlers[service] = sm
+	}
+	sm[method] = h
+}
+
+// Services returns the sorted list of registered service names.
+func (m *Mux) Services() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.handlers))
+	for s := range m.handlers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dispatch runs the handler for (service, method) on raw argument bytes.
+func (m *Mux) dispatch(service, method string, args []byte) ([]byte, error) {
+	m.mu.RLock()
+	sm := m.handlers[service]
+	var h Handler
+	if sm != nil {
+		h = sm[method]
+	}
+	m.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, service, method)
+	}
+	return h(args)
+}
+
+// Register installs a typed handler: the argument is decoded into A, the
+// handler runs, and its reply R is encoded back.
+func Register[A, R any](m *Mux, service, method string, fn func(A) (R, error)) {
+	m.Handle(service, method, func(raw []byte) ([]byte, error) {
+		var args A
+		if err := decode(raw, &args); err != nil {
+			return nil, fmt.Errorf("rpc: decoding args of %s.%s: %w", service, method, err)
+		}
+		reply, err := fn(args)
+		if err != nil {
+			return nil, err
+		}
+		return encode(reply)
+	})
+}
+
+// Client issues calls against a Mux, either in-process or across a network
+// transport.
+type Client interface {
+	// Call invokes service.method with args, decoding the reply into reply
+	// (which must be a pointer, or nil to discard).
+	Call(service, method string, args, reply any) error
+	// Close releases the transport. Calls after Close fail.
+	Close() error
+}
+
+// localClient dispatches directly into a Mux, optionally sleeping to model
+// network latency.
+type localClient struct {
+	mux     *Mux
+	latency time.Duration
+	closed  sync.Once
+	done    chan struct{}
+}
+
+// NewLocalClient returns a Client that invokes handlers by direct function
+// call. A non-zero latency is slept once per call (round trip), letting
+// tests model a remote link without sockets.
+func NewLocalClient(m *Mux, latency time.Duration) Client {
+	return &localClient{mux: m, latency: latency, done: make(chan struct{})}
+}
+
+func (c *localClient) Call(service, method string, args, reply any) error {
+	select {
+	case <-c.done:
+		return errors.New("rpc: client closed")
+	default:
+	}
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	raw, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding args of %s.%s: %w", service, method, err)
+	}
+	out, err := c.mux.dispatch(service, method, raw)
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	return decode(out, reply)
+}
+
+func (c *localClient) Close() error {
+	c.closed.Do(func() { close(c.done) })
+	return nil
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(raw []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(v)
+}

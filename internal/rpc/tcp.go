@@ -1,0 +1,284 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// request and response are the wire messages. Args and Reply are pre-encoded
+// gob payloads so the framing codec stays independent of call signatures.
+type request struct {
+	Seq     uint64
+	Service string
+	Method  string
+	Args    []byte
+}
+
+type response struct {
+	Seq   uint64
+	Err   string
+	Reply []byte
+}
+
+// Server accepts connections and dispatches requests into a Mux. Each
+// connection is served by one goroutine; each request is dispatched in its
+// own goroutine so a slow handler does not head-of-line-block the link.
+type Server struct {
+	mux     *Mux
+	lis     net.Listener
+	latency time.Duration
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerLatency makes the server sleep d before answering each request,
+// modelling a distant deployment (the paper's "RMI remote" row) without
+// needing a second machine.
+func WithServerLatency(d time.Duration) ServerOption {
+	return func(s *Server) { s.latency = d }
+}
+
+// NewServer starts serving m on lis until Close is called.
+func NewServer(lis net.Listener, m *Mux, opts ...ServerOption) *Server {
+	s := &Server{
+		mux:   m,
+		lis:   lis,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience wrapper starting a TCP server on addr
+// (e.g. "127.0.0.1:0").
+func Listen(addr string, m *Mux, opts ...ServerOption) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	return NewServer(lis, m, opts...), nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, closes every open connection and waits for
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			// Transient accept failure; keep serving.
+			continue
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex // serialises concurrent response writes
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		go func(req request) {
+			if s.latency > 0 {
+				time.Sleep(s.latency)
+			}
+			reply, err := s.mux.dispatch(req.Service, req.Method, req.Args)
+			resp := response{Seq: req.Seq, Reply: reply}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			wmu.Lock()
+			encErr := enc.Encode(resp)
+			wmu.Unlock()
+			if encErr != nil {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// tcpClient is a pipelined client: many calls may be in flight on the single
+// connection, matched back to callers by sequence number.
+type tcpClient struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	latency time.Duration
+
+	wmu sync.Mutex // guards enc
+
+	mu      sync.Mutex // guards seq, pending, closed
+	seq     uint64
+	pending map[uint64]chan response
+	closed  bool
+	readErr error
+}
+
+// DialOption configures a dialled client.
+type DialOption func(*tcpClient)
+
+// WithCallLatency sleeps d before sending each request, modelling one-way
+// client-side network delay.
+func WithCallLatency(d time.Duration) DialOption {
+	return func(c *tcpClient) { c.latency = d }
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string, opts ...DialOption) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &tcpClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan response),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *tcpClient) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *tcpClient) failAll(err error) {
+	if err == io.EOF {
+		err = errors.New("rpc: connection closed")
+	}
+	c.mu.Lock()
+	c.readErr = err
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		ch <- response{Err: err.Error()}
+	}
+	c.mu.Unlock()
+}
+
+func (c *tcpClient) Call(service, method string, args, reply any) error {
+	raw, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding args of %s.%s: %w", service, method, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("rpc: client closed")
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan response, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	req := request{Seq: seq, Service: service, Method: method, Args: raw}
+	c.wmu.Lock()
+	err = c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: sending %s.%s: %w", service, method, err)
+	}
+
+	resp := <-ch
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if reply == nil {
+		return nil
+	}
+	return decode(resp.Reply, reply)
+}
+
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

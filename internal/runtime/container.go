@@ -1,0 +1,188 @@
+// Package runtime assembles BitDew's stable-node side: the service
+// container running the four D* services (Data Catalog, Data Repository,
+// Data Transfer, Data Scheduler) together with the protocol back-ends (an
+// FTP-like server, an HTTP server and a swarm tracker) over shared
+// persistent storage. The paper's fault model for these hosts is the
+// transient fault — an administrator restarts them — which the container
+// supports through the db package's WAL/snapshot replay.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"bitdew/internal/catalog"
+	"bitdew/internal/data"
+	"bitdew/internal/db"
+	"bitdew/internal/protocols/ftp"
+	"bitdew/internal/protocols/httpx"
+	"bitdew/internal/protocols/swarm"
+	"bitdew/internal/repository"
+	"bitdew/internal/rpc"
+	"bitdew/internal/scheduler"
+	"bitdew/internal/transfer"
+)
+
+// ContainerConfig configures a service container.
+type ContainerConfig struct {
+	// Addr is the rpc listen address; empty serves in-process only (access
+	// the container through Mux with core.ConnectLocal).
+	Addr string
+	// Store is the meta-data database (defaults to an embedded RowStore).
+	Store db.Store
+	// Backend is the repository storage (defaults to in-memory).
+	Backend repository.Backend
+	// DisableFTP / DisableHTTP / DisableSwarm turn protocol servers off.
+	DisableFTP   bool
+	DisableHTTP  bool
+	DisableSwarm bool
+	// FTPThrottle caps the ftp server's per-connection rate in bytes/s
+	// (0 = unthrottled); benchmarks use it to emulate constrained uplinks.
+	FTPThrottle int64
+}
+
+// Container is one stable service host.
+type Container struct {
+	Mux *rpc.Mux
+
+	DC *catalog.Service
+	DR *repository.Service
+	DT *transfer.Service
+	DS *scheduler.Service
+
+	FTP     *ftp.Server
+	HTTP    *httpx.Server
+	Tracker *swarm.Tracker
+
+	rpcServer *rpc.Server
+
+	mu      sync.Mutex
+	seeders map[data.UID]*swarm.Peer
+	closed  bool
+}
+
+// NewContainer builds and starts a service container.
+func NewContainer(cfg ContainerConfig) (*Container, error) {
+	if cfg.Store == nil {
+		cfg.Store = db.NewRowStore()
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = repository.NewMemBackend()
+	}
+	c := &Container{
+		Mux:     rpc.NewMux(),
+		DC:      catalog.NewService(cfg.Store),
+		DR:      repository.NewService(cfg.Backend),
+		DT:      transfer.NewService(),
+		DS:      scheduler.New(),
+		seeders: make(map[data.UID]*swarm.Peer),
+	}
+	var err error
+	if !cfg.DisableFTP {
+		var opts []ftp.Option
+		if cfg.FTPThrottle > 0 {
+			opts = append(opts, ftp.WithThrottle(cfg.FTPThrottle))
+		}
+		if c.FTP, err = ftp.NewServer(cfg.Backend, "127.0.0.1:0", opts...); err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		c.DR.RegisterEndpoint("ftp", c.FTP.Addr())
+	}
+	if !cfg.DisableHTTP {
+		if c.HTTP, err = httpx.NewServer(cfg.Backend, "127.0.0.1:0"); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		c.DR.RegisterEndpoint("http", c.HTTP.Addr())
+	}
+	if !cfg.DisableSwarm {
+		if c.Tracker, err = swarm.NewTracker("127.0.0.1:0"); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		c.DR.RegisterEndpoint("bittorrent", c.Tracker.Addr())
+		// Lazily start a seeder the first time a bittorrent locator for a
+		// datum is requested, so every swarm has a permanent first source.
+		backend := cfg.Backend
+		c.DR.SetLocatorHook(func(uid data.UID, protocol string) error {
+			if protocol != "bittorrent" {
+				return nil
+			}
+			return c.ensureSeeder(backend, uid)
+		})
+	}
+
+	c.DC.Mount(c.Mux)
+	c.DR.Mount(c.Mux)
+	c.DT.Mount(c.Mux)
+	c.DS.Mount(c.Mux)
+
+	if cfg.Addr != "" {
+		if c.rpcServer, err = rpc.Listen(cfg.Addr, c.Mux); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Addr returns the rpc listen address ("" when serving in-process only).
+func (c *Container) Addr() string {
+	if c.rpcServer == nil {
+		return ""
+	}
+	return c.rpcServer.Addr()
+}
+
+// ensureSeeder starts (once) a swarm seeder for the datum's content.
+func (c *Container) ensureSeeder(backend repository.Backend, uid data.UID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("runtime: container closed")
+	}
+	if _, ok := c.seeders[uid]; ok {
+		return nil
+	}
+	content, err := backend.Get(string(uid))
+	if err != nil {
+		return fmt.Errorf("runtime: cannot seed %s: %w", uid, err)
+	}
+	meta := swarm.NewMetainfo(string(uid), content, swarm.DefaultPieceSize)
+	seeder, err := swarm.NewSeeder(backend, meta, c.Tracker.Addr(), "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("runtime: seeding %s: %w", uid, err)
+	}
+	c.seeders[uid] = seeder
+	return nil
+}
+
+// Close stops every server the container started.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	seeders := c.seeders
+	c.seeders = map[data.UID]*swarm.Peer{}
+	c.mu.Unlock()
+
+	for _, s := range seeders {
+		s.Close()
+	}
+	if c.rpcServer != nil {
+		c.rpcServer.Close()
+	}
+	if c.FTP != nil {
+		c.FTP.Close()
+	}
+	if c.HTTP != nil {
+		c.HTTP.Close()
+	}
+	if c.Tracker != nil {
+		c.Tracker.Close()
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+// Package scheduler implements BitDew's Data Scheduler service (DS) — the
+// component that turns data attributes into transfer orders (paper §3.4.3,
+// Algorithm 1).
+//
+// Reservoir hosts periodically contact the scheduler with the set of data
+// held in their local cache (Δk). The scheduler scans its own data set (Θ)
+// and answers with a new cache set (Ψk). The host can then safely delete
+// obsolete data (Δk \ Ψk), keep the validated cache (Δk ∩ Ψk), and download
+// newly assigned data (Ψk \ Δk).
+//
+// The scheduler also implements fault tolerance: each datum carries a list
+// of active owners Ω refreshed at every synchronization, and owners of
+// fault-tolerant data that miss heartbeats past the timeout are dropped, so
+// the datum's replica count falls below its attribute and it is scheduled
+// again to a new host.
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/data"
+)
+
+// DefaultMaxDataSchedule caps how many new data one synchronization may
+// assign (the threshold that stops Algorithm 1's second loop).
+const DefaultMaxDataSchedule = 8
+
+// DefaultTimeout is the failure-detection timeout; the paper sets it to
+// three heartbeat periods (3 × 1 s in the DSL-Lab experiment of §4.4).
+const DefaultTimeout = 3 * time.Second
+
+// Entry is one datum under management: its meta-information, its attribute
+// and internal scheduling state.
+type Entry struct {
+	Data data.Data
+	Attr attr.Attribute
+	// scheduledAt anchors the absolute lifetime.
+	scheduledAt time.Time
+	// order preserves insertion order for deterministic scheduling.
+	order int
+}
+
+// Assignment is one datum a host must download, with the attribute that
+// drove the decision (the host needs the protocol hint and, for events, the
+// attribute name).
+type Assignment struct {
+	Data data.Data
+	Attr attr.Attribute
+}
+
+// SyncResult partitions the scheduler's answer Ψk relative to the host
+// cache Δk.
+type SyncResult struct {
+	// Keep is Δk ∩ Ψk: cached data the host retains.
+	Keep []data.UID
+	// Drop is Δk \ Ψk: obsolete data the host deletes (firing data-delete
+	// life-cycle events).
+	Drop []data.UID
+	// Fetch is Ψk \ Δk: data newly assigned to the host.
+	Fetch []Assignment
+}
+
+// Service is the Data Scheduler. All methods are safe for concurrent use.
+type Service struct {
+	mu     sync.Mutex
+	theta  map[data.UID]*Entry
+	orderC int
+	// owners is Ω: data UID -> host -> last time ownership was confirmed.
+	owners map[data.UID]map[string]time.Time
+	// pinned marks (data, host) pairs registered through Pin; a pinned
+	// owner never expires and its datum is never dropped from that host.
+	pinned map[data.UID]map[string]bool
+	// hosts tracks each host's last synchronization.
+	hosts map[string]time.Time
+
+	// MaxDataSchedule caps new assignments per sync.
+	MaxDataSchedule int
+	// Timeout is the owner-expiry deadline for fault-tolerant data.
+	Timeout time.Duration
+
+	// now is the clock, injectable in tests and simulations.
+	now func() time.Time
+}
+
+// New returns an empty scheduler with default thresholds.
+func New() *Service {
+	return &Service{
+		theta:           make(map[data.UID]*Entry),
+		owners:          make(map[data.UID]map[string]time.Time),
+		pinned:          make(map[data.UID]map[string]bool),
+		hosts:           make(map[string]time.Time),
+		MaxDataSchedule: DefaultMaxDataSchedule,
+		Timeout:         DefaultTimeout,
+		now:             time.Now,
+	}
+}
+
+// SetClock replaces the scheduler's clock (simulations drive virtual time).
+func (s *Service) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Schedule places a datum under management with the given attribute,
+// mirroring activeData.schedule(data, attr). Re-scheduling an existing
+// datum updates its attribute without resetting ownership.
+func (s *Service) Schedule(d data.Data, a attr.Attribute) error {
+	a = a.Normalize()
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.theta[d.UID]; ok {
+		e.Data = d
+		e.Attr = a
+		return nil
+	}
+	s.orderC++
+	s.theta[d.UID] = &Entry{Data: d, Attr: a, scheduledAt: s.now(), order: s.orderC}
+	return nil
+}
+
+// Pin registers a datum as owned by a specific host (activeData.pin): the
+// host counts as an owner, never expires, and the datum is always part of
+// that host's Ψ.
+func (s *Service) Pin(d data.Data, a attr.Attribute, host string) error {
+	if err := s.Schedule(d, a); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addOwnerLocked(d.UID, host)
+	if s.pinned[d.UID] == nil {
+		s.pinned[d.UID] = make(map[string]bool)
+	}
+	s.pinned[d.UID][host] = true
+	return nil
+}
+
+// Unschedule removes a datum from management. Data with a relative
+// lifetime bound to it become obsolete at their owners' next sync.
+func (s *Service) Unschedule(uid data.UID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.theta[uid]; !ok {
+		return fmt.Errorf("scheduler: datum %s not scheduled", uid)
+	}
+	delete(s.theta, uid)
+	delete(s.owners, uid)
+	delete(s.pinned, uid)
+	return nil
+}
+
+// Entries returns a snapshot of Θ in insertion order.
+func (s *Service) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.theta))
+	for _, e := range s.orderedEntriesLocked() {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// Owners returns the hosts currently owning uid, sorted-free snapshot.
+func (s *Service) Owners(uid data.UID) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.owners[uid]))
+	for h := range s.owners[uid] {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Hosts returns hosts seen within the failure timeout.
+func (s *Service) Hosts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	var out []string
+	for h, seen := range s.hosts {
+		if now.Sub(seen) <= s.Timeout {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (s *Service) addOwnerLocked(uid data.UID, host string) {
+	m := s.owners[uid]
+	if m == nil {
+		m = make(map[string]time.Time)
+		s.owners[uid] = m
+	}
+	m[host] = s.now()
+}
+
+// orderedEntriesLocked returns live entries in insertion order.
+func (s *Service) orderedEntriesLocked() []*Entry {
+	out := make([]*Entry, 0, len(s.theta))
+	for _, e := range s.theta {
+		out = append(out, e)
+	}
+	// Insertion sort by order (sets are small; avoids sort import games).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].order < out[j-1].order; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// aliveLocked reports whether an entry is still live: present in Θ, its
+// absolute lifetime (anchored at scheduling) not expired, and its relative
+// lifetime reference still in Θ.
+func (s *Service) aliveLocked(e *Entry) bool {
+	if e.Attr.LifetimeAbs > 0 && s.now().After(e.scheduledAt.Add(e.Attr.LifetimeAbs)) {
+		return false
+	}
+	if ref := e.Attr.LifetimeRel; ref != "" {
+		if s.findByRefLocked(ref) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// findByRefLocked resolves a data reference (UID, data name or attribute
+// name) against Θ.
+func (s *Service) findByRefLocked(ref string) *Entry {
+	if e, ok := s.theta[data.UID(ref)]; ok {
+		return e
+	}
+	for _, e := range s.theta {
+		if e.Data.Name == ref || e.Attr.Name == ref {
+			return e
+		}
+	}
+	return nil
+}
+
+// expireOwnersLocked implements failure detection: owners of fault-tolerant
+// data whose last confirmation is older than the timeout are dropped
+// (unless pinned), so the replica count falls and Algorithm 1 reschedules
+// the datum. Owners of non-fault-tolerant data are kept: the replica is
+// simply unavailable while its host is down (paper §3.2).
+func (s *Service) expireOwnersLocked() {
+	now := s.now()
+	for uid, e := range s.theta {
+		if !e.Attr.FaultTolerant {
+			continue
+		}
+		for host, seen := range s.owners[uid] {
+			if s.pinned[uid][host] {
+				continue
+			}
+			if now.Sub(seen) > s.Timeout {
+				delete(s.owners[uid], host)
+			}
+		}
+	}
+}
+
+// Sync is Algorithm 1: the reservoir host k reports its cache Δk and
+// receives the partitioned new set Ψk.
+func (s *Service) Sync(host string, cache []data.UID) SyncResult {
+	return s.SyncAs(host, cache, false)
+}
+
+// SyncAs is Sync with an explicit host role. A client host (the paper's
+// "client hosts ask for storage resources; reservoir hosts offer their
+// local storage", §3.1) never receives replica- or broadcast-driven
+// assignments — only data whose affinity points at something the client
+// already holds (pinned Collectors attracting Results).
+func (s *Service) SyncAs(host string, cache []data.UID, clientOnly bool) SyncResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hosts[host] = s.now()
+	s.expireOwnersLocked()
+
+	inCache := make(map[data.UID]bool, len(cache))
+	for _, uid := range cache {
+		inCache[uid] = true
+	}
+	psi := make(map[data.UID]bool)
+	var result SyncResult
+
+	// Step 1: keep cached data that is still live.
+	for _, uid := range cache {
+		e, ok := s.theta[uid]
+		if ok && s.aliveLocked(e) {
+			psi[uid] = true
+			result.Keep = append(result.Keep, uid)
+			// Confirm ownership. Algorithm 1 refreshes Ω for fault-
+			// tolerant data; we also record first-time ownership for
+			// non-FT data so replica counting sees the copy, but never
+			// refresh its timestamp (its liveness is not tracked).
+			if e.Attr.FaultTolerant {
+				s.addOwnerLocked(uid, host)
+			} else if _, owned := s.owners[uid][host]; !owned {
+				s.addOwnerLocked(uid, host)
+			}
+		} else {
+			result.Drop = append(result.Drop, uid)
+		}
+	}
+
+	// Reconcile ownership: if this host is recorded as an owner of a datum
+	// it did not report (a failed download, or a host that came back from
+	// a crash with an empty cache), withdraw the stale ownership so the
+	// replica count reflects reality and the datum can be re-assigned —
+	// possibly to this very host in step 2. Pinned ownership is exempt.
+	for uid, owners := range s.owners {
+		if _, owned := owners[host]; owned && !inCache[uid] && !s.pinned[uid][host] {
+			delete(owners, host)
+		}
+	}
+
+	// Step 2: assign new data.
+	newCount := 0
+	entries := s.orderedEntriesLocked()
+	for _, e := range entries {
+		if newCount >= s.MaxDataSchedule {
+			break
+		}
+		uid := e.Data.UID
+		if psi[uid] || inCache[uid] || !s.aliveLocked(e) {
+			continue
+		}
+		assign := false
+		// Affinity: schedule where the referenced datum already is.
+		// Affinity is stronger than replica (§3.2): it bypasses the
+		// replica count entirely.
+		if ref := e.Attr.Affinity; ref != "" {
+			if target := s.findByRefLocked(ref); target != nil && psi[target.Data.UID] {
+				assign = true
+			}
+		} else if !clientOnly {
+			// Replica: -1 broadcasts to every node; otherwise top up to
+			// the requested count.
+			if e.Attr.WantsBroadcast() || len(s.owners[uid]) < e.Attr.Replica {
+				assign = true
+			}
+		}
+		if assign {
+			psi[uid] = true
+			s.addOwnerLocked(uid, host)
+			result.Fetch = append(result.Fetch, Assignment{Data: e.Data, Attr: e.Attr})
+			newCount++
+		}
+	}
+	return result
+}
+
+// GC removes entries whose lifetime has expired from Θ entirely; the
+// runtime calls it periodically so dead data do not accumulate.
+func (s *Service) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	// Repeat until fixpoint: removing a datum may expire relative
+	// lifetimes bound to it.
+	for {
+		var dead []data.UID
+		for uid, e := range s.theta {
+			if !s.aliveLocked(e) {
+				dead = append(dead, uid)
+			}
+		}
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, uid := range dead {
+			delete(s.theta, uid)
+			delete(s.owners, uid)
+			delete(s.pinned, uid)
+			removed++
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package simgrid
+
+import (
+	"fmt"
+	"sort"
+
+	"bitdew/internal/testbed"
+)
+
+// BlastParams describes the Master/Worker BLAST experiment of paper §5.
+type BlastParams struct {
+	// AppBytes is the BLAST binary size (4.45 MB in the paper), broadcast
+	// to every node over BitTorrent.
+	AppBytes float64
+	// GenebaseBytes is the compressed database archive (2.68 GB).
+	GenebaseBytes float64
+	// SequenceBytes is one query sequence (small text file, sent over
+	// HTTP per the paper's protocol-selection discussion).
+	SequenceBytes float64
+	// ResultBytes is one result file collected back to the master.
+	ResultBytes float64
+	// ExecSeconds is the blastn runtime for one worker's query workload on
+	// the reference CPU (cluster CPUFactor scales it).
+	ExecSeconds float64
+	// Protocol distributes the genebase: "ftp" or "bittorrent".
+	Protocol string
+}
+
+// DefaultBlastParams reproduces the paper's workload.
+func DefaultBlastParams(protocol string) BlastParams {
+	return BlastParams{
+		AppBytes:      4.45e6,
+		GenebaseBytes: 2.68e9,
+		SequenceBytes: 2e3,
+		ResultBytes:   50e3,
+		ExecSeconds:   240,
+		Protocol:      protocol,
+	}
+}
+
+// Breakdown is the per-phase timing of Figure 6.
+type Breakdown struct {
+	Transfer float64
+	Unzip    float64
+	Exec     float64
+}
+
+// Total sums the phases.
+func (b Breakdown) Total() float64 { return b.Transfer + b.Unzip + b.Exec }
+
+// BlastResult reports one Master/Worker run.
+type BlastResult struct {
+	// TotalTime is the completion time of the slowest worker (Figure 5's
+	// y-axis).
+	TotalTime float64
+	// ByCluster averages the breakdown per cluster (Figure 6's bars).
+	ByCluster map[string]Breakdown
+	// Mean is the platform-wide average breakdown (Figure 6's rightmost
+	// columns).
+	Mean Breakdown
+	// Workers is the number of workers simulated.
+	Workers int
+}
+
+// BlastRun simulates the Master/Worker BLAST application on n workers of
+// the platform: broadcast the application (BitTorrent), distribute the
+// genebase over params.Protocol, unzip it locally, run the search, and
+// return results to the master. Per-worker total = transfer + unzip +
+// exec, the decomposition of Figure 6; the experiment's completion is the
+// slowest worker.
+func BlastRun(p testbed.Platform, n int, params BlastParams) (BlastResult, error) {
+	if n > p.TotalNodes() {
+		return BlastResult{}, fmt.Errorf("simgrid: platform %s has %d nodes, %d requested", p.Name, p.TotalNodes(), n)
+	}
+	// Application broadcast: always collaborative (replica = -1 with
+	// oob = bittorrent in Listing 3). Small file: startup dominates.
+	app := SwarmBroadcast(p, n, params.AppBytes, nil, nil)
+
+	// Genebase distribution over the chosen protocol.
+	gene, err := Broadcast(p, params.Protocol, n, params.GenebaseBytes, nil)
+	if err != nil {
+		return BlastResult{}, err
+	}
+	// Sequences: tiny HTTP transfers, negligible but accounted.
+	seqTime := params.SequenceBytes / p.ServerUpBps * float64(n)
+
+	res := BlastResult{ByCluster: make(map[string]Breakdown), Workers: n}
+	counts := make(map[string]int)
+	var clusterOrder []string
+	worst := 0.0
+	var sumT, sumU, sumE float64
+	clusters := allocateProportional(p, n)
+	for i := 0; i < n; i++ {
+		c := clusters[i]
+		transfer := app.PerNode[min(i, len(app.PerNode)-1)] +
+			gene.PerNode[min(i, len(gene.PerNode)-1)] + seqTime
+		unzip := params.GenebaseBytes / c.UnzipBps
+		exec := params.ExecSeconds / c.CPUFactor
+		// Result upload: small, shares server downlink across n workers.
+		resultUp := params.ResultBytes / (p.ServerDownBps / float64(n))
+
+		total := transfer + unzip + exec + resultUp
+		if total > worst {
+			worst = total
+		}
+		b := res.ByCluster[c.Name]
+		if counts[c.Name] == 0 {
+			clusterOrder = append(clusterOrder, c.Name)
+		}
+		b.Transfer += transfer
+		b.Unzip += unzip
+		b.Exec += exec
+		res.ByCluster[c.Name] = b
+		counts[c.Name]++
+		sumT += transfer
+		sumU += unzip
+		sumE += exec
+	}
+	for _, name := range clusterOrder {
+		b := res.ByCluster[name]
+		k := float64(counts[name])
+		res.ByCluster[name] = Breakdown{Transfer: b.Transfer / k, Unzip: b.Unzip / k, Exec: b.Exec / k}
+	}
+	res.Mean = Breakdown{Transfer: sumT / float64(n), Unzip: sumU / float64(n), Exec: sumE / float64(n)}
+	res.TotalTime = worst
+	return res, nil
+}
+
+// BlastSweep runs Figure 5's worker sweep for one protocol.
+func BlastSweep(p testbed.Platform, workers []int, protocol string) ([]float64, error) {
+	params := DefaultBlastParams(protocol)
+	out := make([]float64, 0, len(workers))
+	for _, n := range workers {
+		r, err := BlastRun(p, n, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.TotalTime)
+	}
+	return out, nil
+}
+
+// ClusterNames returns the breakdown keys in platform order.
+func (r BlastResult) ClusterNames() []string {
+	names := make([]string, 0, len(r.ByCluster))
+	for n := range r.ByCluster {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// allocateProportional spreads n workers across the platform's clusters in
+// proportion to cluster size (largest-remainder rounding), the way the
+// paper's 400-node run drew workers from all four Grid'5000 clusters.
+func allocateProportional(p testbed.Platform, n int) []testbed.Cluster {
+	total := p.TotalNodes()
+	out := make([]testbed.Cluster, 0, n)
+	type share struct {
+		c     testbed.Cluster
+		count int
+		frac  float64
+	}
+	shares := make([]share, len(p.Clusters))
+	assigned := 0
+	for i, c := range p.Clusters {
+		exact := float64(n) * float64(c.Nodes) / float64(total)
+		count := int(exact)
+		shares[i] = share{c: c, count: count, frac: exact - float64(count)}
+		assigned += count
+	}
+	for assigned < n {
+		best := 0
+		for i := range shares {
+			if shares[i].frac > shares[best].frac {
+				best = i
+			}
+		}
+		shares[best].count++
+		shares[best].frac = -1
+		assigned++
+	}
+	for _, s := range shares {
+		for j := 0; j < s.count && len(out) < n; j++ {
+			out = append(out, s.c)
+		}
+	}
+	return out
+}

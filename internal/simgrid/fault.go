@@ -1,0 +1,182 @@
+package simgrid
+
+import (
+	"fmt"
+	"time"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/data"
+	"bitdew/internal/scheduler"
+	"bitdew/internal/simnet"
+	"bitdew/internal/testbed"
+)
+
+// FaultEvent is one node's life in the fault-tolerance scenario: the Gantt
+// row of Figure 4 (waiting time, download time, crash mark, bandwidth).
+type FaultEvent struct {
+	Node string
+	// Arrival is when the node joined the system.
+	Arrival float64
+	// DownloadStart is when the scheduler assigned the datum and the
+	// transfer began; DownloadStart-Arrival is the red "waiting" box,
+	// dominated by the failure detector (3 heartbeats).
+	DownloadStart float64
+	// DownloadEnd is transfer completion (end of the blue box).
+	DownloadEnd float64
+	// CrashedAt is the node's failure time (0 if it survived).
+	CrashedAt float64
+	// BandwidthBps is the observed mean download rate.
+	BandwidthBps float64
+}
+
+// FaultResult is the full scenario outcome.
+type FaultResult struct {
+	Events []FaultEvent
+	// ReplicaTimeline samples (time, liveReplicas) after every event.
+	ReplicaTimeline [][2]float64
+}
+
+// FaultScenario reproduces the §4.4 experiment on the DSL-Lab platform
+// using the real Data Scheduler driven on virtual time: a datum with
+// replica = r and fault tolerance = true is placed on r nodes; every
+// killPeriod seconds one owner crashes and a fresh node arrives. The
+// scheduler's timeout (3 × heartbeat) detects the failure and re-schedules
+// the datum to the newcomer, keeping the live replica count at r.
+func FaultScenario(p testbed.Platform, size float64, replica int, kills int, killPeriod, heartbeat float64) FaultResult {
+	sim := simnet.New()
+	sim.AddNode("server", p.ServerUpBps, p.ServerDownBps)
+
+	total := p.TotalNodes()
+	if replica+kills > total {
+		kills = total - replica
+	}
+	names := make([]string, total)
+	for i := 0; i < total; i++ {
+		c, _, _ := p.NodeSpec(i)
+		names[i] = c.Name // DSL-Lab presets have one node per cluster
+		sim.AddNode(names[i], c.UpBps, c.DownBps)
+	}
+
+	ds := scheduler.New()
+	ds.Timeout = time.Duration(3 * heartbeat * float64(time.Second))
+	epoch := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	ds.SetClock(func() time.Time {
+		return epoch.Add(time.Duration(sim.Now() * float64(time.Second)))
+	})
+
+	d := *data.NewFromBytes("replicated", []byte("x"))
+	d.Size = int64(size)
+	ds.Schedule(d, attr.Attribute{Name: "r", Replica: replica, FaultTolerant: true, Protocol: "ftp"})
+
+	events := make(map[string]*FaultEvent)
+	var result FaultResult
+	alive := make(map[string]bool)
+	// holds marks the datum as part of a node's reservoir dataset from the
+	// moment it is assigned (the set Ψk the host manages), so ownership
+	// heartbeats continue during long ADSL downloads; downloaded marks
+	// actual replica availability for the timeline.
+	holds := make(map[string]bool)
+	downloaded := make(map[string]bool)
+
+	recordReplicas := func() {
+		live := 0
+		for n := range downloaded {
+			if alive[n] {
+				live++
+			}
+		}
+		result.ReplicaTimeline = append(result.ReplicaTimeline, [2]float64{sim.Now(), float64(live)})
+	}
+
+	// tick is one heartbeat for a node: sync with the scheduler, start
+	// downloads for new assignments, and re-arm.
+	var tick func(name string)
+	tick = func(name string) {
+		if !alive[name] {
+			return
+		}
+		var cache []data.UID
+		if holds[name] {
+			cache = append(cache, d.UID)
+		}
+		res := ds.Sync(name, cache)
+		for _, as := range res.Fetch {
+			ev := events[name]
+			if ev.DownloadStart < 0 {
+				ev.DownloadStart = sim.Now()
+			}
+			node := name
+			holds[node] = true
+			sim.StartFlowF("server", node, float64(as.Data.Size), func(at float64) {
+				ev := events[node]
+				ev.DownloadEnd = at
+				if at > ev.DownloadStart {
+					ev.BandwidthBps = float64(as.Data.Size) / (at - ev.DownloadStart)
+				}
+				downloaded[node] = true
+				recordReplicas()
+			}, nil)
+		}
+		sim.After(heartbeat, func() { tick(name) })
+	}
+
+	arrive := func(name string, at float64) {
+		sim.At(at, func() {
+			alive[name] = true
+			sim.ReviveNode(name)
+			events[name] = &FaultEvent{Node: name, Arrival: sim.Now(), DownloadStart: -1}
+			tick(name)
+		})
+	}
+
+	// Initial population: the first `replica` nodes are online at t=0.
+	for i := 0; i < replica; i++ {
+		arrive(names[i], 0)
+	}
+	// Churn: every killPeriod, the oldest holder crashes and a new node
+	// arrives simultaneously (the experiment's protocol).
+	for k := 0; k < kills; k++ {
+		at := killPeriod * float64(k+1)
+		victimIdx := k // kill in arrival order
+		newcomer := replica + k
+		sim.At(at, func() {
+			victim := names[victimIdx]
+			alive[victim] = false
+			if ev := events[victim]; ev != nil {
+				ev.CrashedAt = sim.Now()
+			}
+			sim.FailNode(victim)
+			recordReplicas()
+		})
+		arrive(names[newcomer], at)
+	}
+
+	horizon := killPeriod*float64(kills+1) + 60
+	sim.RunUntil(horizon)
+
+	for i := 0; i < replica+kills && i < total; i++ {
+		if ev := events[names[i]]; ev != nil {
+			result.Events = append(result.Events, *ev)
+		}
+	}
+	return result
+}
+
+// FormatGantt renders the scenario as the textual Gantt chart of Figure 4.
+func (r FaultResult) FormatGantt() string {
+	out := "node    arrival  wait[s]  download[s]  bandwidth  crashed\n"
+	for _, e := range r.Events {
+		wait := e.DownloadStart - e.Arrival
+		dl := e.DownloadEnd - e.DownloadStart
+		crash := "-"
+		if e.CrashedAt > 0 {
+			crash = fmt.Sprintf("t=%.0fs", e.CrashedAt)
+		}
+		if e.DownloadStart < 0 { // never scheduled (crashed too early)
+			wait, dl = 0, 0
+		}
+		out += fmt.Sprintf("%-7s %7.1f  %7.1f  %11.1f  %6.0fKB/s  %s\n",
+			e.Node, e.Arrival, wait, dl, e.BandwidthBps/1e3, crash)
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package simgrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bitdew/internal/testbed"
+)
+
+const mb = 1e6
+
+func TestFTPBroadcastScalesLinearlyInNodes(t *testing.T) {
+	p := testbed.GdX()
+	t50 := FTPBroadcast(p, 50, 100*mb, nil).Completion
+	t100 := FTPBroadcast(p, 100, 100*mb, nil).Completion
+	t200 := FTPBroadcast(p, 200, 100*mb, nil).Completion
+	if !(t50 < t100 && t100 < t200) {
+		t.Fatalf("FTP not monotone in nodes: %v %v %v", t50, t100, t200)
+	}
+	// Uplink-bound: doubling nodes ~doubles completion.
+	if ratio := t200 / t100; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("FTP scaling ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestSwarmBroadcastNearlyFlatInNodes(t *testing.T) {
+	p := testbed.GdX()
+	t50 := SwarmBroadcast(p, 50, 100*mb, nil, nil).Completion
+	t250 := SwarmBroadcast(p, 250, 100*mb, nil, nil).Completion
+	// A 5x node increase should cost far less than 5x (paper: nearly flat).
+	if t250 > 2*t50 {
+		t.Errorf("swarm completion grew %vx from 50 to 250 nodes (%.1fs -> %.1fs)", t250/t50, t50, t250)
+	}
+}
+
+func TestProtocolCrossover(t *testing.T) {
+	// Paper Figure 3a: BitTorrent outperforms FTP for >20MB files on >10
+	// nodes; FTP wins on small files / few nodes where the swarm's fixed
+	// startup cost dominates.
+	p := testbed.GdX()
+	big, nodes := 250*mb, 100
+	ftp := FTPBroadcast(p, nodes, big, nil).Completion
+	bt := SwarmBroadcast(p, nodes, big, nil, nil).Completion
+	if bt >= ftp {
+		t.Errorf("big broadcast: bt=%.1fs not faster than ftp=%.1fs", bt, ftp)
+	}
+	small, few := 10*mb, 5
+	ftpS := FTPBroadcast(p, few, small, nil).Completion
+	btS := SwarmBroadcast(p, few, small, nil, nil).Completion
+	if ftpS >= btS {
+		t.Errorf("small broadcast: ftp=%.1fs not faster than bt=%.1fs", ftpS, btS)
+	}
+}
+
+func TestOverheadPositiveAndShapedLikePaper(t *testing.T) {
+	p := testbed.GdX()
+	ov := DefaultOverhead()
+	type pt struct {
+		n    int
+		size float64
+	}
+	overheadPct := func(c pt) float64 {
+		raw := FTPBroadcast(p, c.n, c.size, nil).Completion
+		bd := FTPBroadcast(p, c.n, c.size, ov).Completion
+		return (bd - raw) / raw * 100
+	}
+	smallFew := overheadPct(pt{10, 10 * mb})
+	bigMany := overheadPct(pt{250, 500 * mb})
+	if smallFew <= 0 || bigMany <= 0 {
+		t.Fatalf("overheads must be positive: %v %v", smallFew, bigMany)
+	}
+	// Figure 3b: relative overhead is strongest for small files on few
+	// nodes and fades for large distributions.
+	if smallFew <= bigMany {
+		t.Errorf("overhead%% small/few (%.1f%%) should exceed big/many (%.1f%%)", smallFew, bigMany)
+	}
+	if smallFew > 100 {
+		t.Errorf("overhead%% = %.1f%%, implausibly large", smallFew)
+	}
+	// Figure 3c: absolute overhead grows with size and node count.
+	rawSmall := FTPBroadcast(p, 10, 10*mb, nil).Completion
+	bdSmall := FTPBroadcast(p, 10, 10*mb, ov).Completion
+	rawBig := FTPBroadcast(p, 250, 500*mb, nil).Completion
+	bdBig := FTPBroadcast(p, 250, 500*mb, ov).Completion
+	if (bdBig - rawBig) <= (bdSmall - rawSmall) {
+		t.Errorf("absolute overhead should grow with size x nodes: small=%.2fs big=%.2fs",
+			bdSmall-rawSmall, bdBig-rawBig)
+	}
+}
+
+func TestControlTrafficAccounting(t *testing.T) {
+	p := testbed.GdX()
+	ov := DefaultOverhead()
+	r := FTPBroadcast(p, 250, 500*mb, ov)
+	// Paper §4.3: distributing 500MB to 250 nodes generates at least
+	// 500000 requests to the DT service.
+	if r.Requests < 400_000 {
+		t.Errorf("Requests = %d, want hundreds of thousands", r.Requests)
+	}
+	if r.ControlBytes <= 0 {
+		t.Error("no control bytes accounted")
+	}
+}
+
+func TestBroadcastUnknownProtocol(t *testing.T) {
+	if _, err := Broadcast(testbed.GdX(), "pigeon", 1, 1, nil); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestFaultScenarioDetectionDelay(t *testing.T) {
+	p := testbed.DSLLab()
+	const heartbeat = 1.0
+	r := FaultScenario(p, 4*mb, 5, 5, 20, heartbeat)
+	if len(r.Events) != 10 {
+		t.Fatalf("events = %d, want 10 (5 initial + 5 newcomers)", len(r.Events))
+	}
+	// Initial nodes schedule almost immediately.
+	for _, e := range r.Events[:5] {
+		if e.DownloadStart-e.Arrival > 2*heartbeat {
+			t.Errorf("initial node %s waited %.1fs", e.Node, e.DownloadStart-e.Arrival)
+		}
+	}
+	// Newcomers wait for the failure detector: ~3 heartbeats (+ sync
+	// alignment), clearly more than the initial nodes, well under 10s.
+	for _, e := range r.Events[5:] {
+		wait := e.DownloadStart - e.Arrival
+		if wait < 2*heartbeat || wait > 8*heartbeat {
+			t.Errorf("newcomer %s waited %.1fs, want ~3 heartbeats", e.Node, wait)
+		}
+	}
+	// Bandwidths differ across ADSL nodes (heterogeneous platform).
+	bw := map[float64]bool{}
+	for _, e := range r.Events {
+		if e.BandwidthBps > 0 {
+			bw[math.Round(e.BandwidthBps/1e3)] = true
+		}
+	}
+	if len(bw) < 4 {
+		t.Errorf("bandwidth diversity too low: %v", bw)
+	}
+	if !strings.Contains(r.FormatGantt(), "DSL01") {
+		t.Error("gantt missing first node")
+	}
+}
+
+func TestFaultScenarioMaintainsReplicas(t *testing.T) {
+	p := testbed.DSLLab()
+	r := FaultScenario(p, 1*mb, 5, 5, 20, 1.0)
+	if len(r.ReplicaTimeline) == 0 {
+		t.Fatal("no replica timeline")
+	}
+	last := r.ReplicaTimeline[len(r.ReplicaTimeline)-1]
+	if last[1] < 5 {
+		t.Errorf("final live replicas = %.0f, want >= 5", last[1])
+	}
+}
+
+func TestBlastRunBreakdownSane(t *testing.T) {
+	p := testbed.Grid5000()
+	r, err := BlastRun(p, 400, DefaultBlastParams("bittorrent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ByCluster) != 4 {
+		t.Fatalf("clusters = %v", r.ClusterNames())
+	}
+	for name, b := range r.ByCluster {
+		if b.Transfer <= 0 || b.Unzip <= 0 || b.Exec <= 0 {
+			t.Errorf("cluster %s has empty phases: %+v", name, b)
+		}
+	}
+	if r.Mean.Total() <= 0 || r.TotalTime < r.Mean.Total() {
+		t.Errorf("TotalTime %.1f vs mean %.1f", r.TotalTime, r.Mean.Total())
+	}
+}
+
+func TestBlastFigure5Shape(t *testing.T) {
+	// Paper Figure 5: FTP total grows sharply with workers; BitTorrent is
+	// nearly flat; FTP is better at 10-20 workers.
+	p := testbed.GdX()
+	workers := []int{10, 20, 50, 100, 150, 200, 250}
+	ftp, err := BlastSweep(p, workers, "ftp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := BlastSweep(p, workers, "bittorrent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftp[0] >= bt[0] {
+		t.Errorf("at 10 workers FTP (%.0fs) should beat BT (%.0fs)", ftp[0], bt[0])
+	}
+	last := len(workers) - 1
+	if bt[last] >= ftp[last] {
+		t.Errorf("at 250 workers BT (%.0fs) should beat FTP (%.0fs)", bt[last], ftp[last])
+	}
+	// BT flatness: growth from 50 to 250 workers under 30%.
+	if bt[last] > 1.3*bt[2] {
+		t.Errorf("BT grew %.0fs -> %.0fs between 50 and 250 workers", bt[2], bt[last])
+	}
+	// FTP near-linear growth.
+	if ftp[last] < 3*ftp[2] {
+		t.Errorf("FTP only grew %.0fs -> %.0fs between 50 and 250 workers", ftp[2], ftp[last])
+	}
+}
+
+func TestBlastTransferGainFactorFigure6(t *testing.T) {
+	// Paper §5: at 400 nodes, BitTorrent gains almost a factor 10 on data
+	// delivery time versus FTP.
+	p := testbed.Grid5000()
+	ftp, err := BlastRun(p, 400, DefaultBlastParams("ftp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := BlastRun(p, 400, DefaultBlastParams("bittorrent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := ftp.Mean.Transfer / bt.Mean.Transfer
+	if gain < 5 {
+		t.Errorf("transfer gain = %.1fx, want >= 5x (paper: ~10x)", gain)
+	}
+	// Unzip and exec are protocol-independent.
+	if math.Abs(ftp.Mean.Unzip-bt.Mean.Unzip) > 1e-6 {
+		t.Error("unzip time depends on protocol")
+	}
+	if math.Abs(ftp.Mean.Exec-bt.Mean.Exec) > 1e-6 {
+		t.Error("exec time depends on protocol")
+	}
+}
+
+func TestBlastTooManyWorkers(t *testing.T) {
+	if _, err := BlastRun(testbed.DSLLab(), 100, DefaultBlastParams("ftp")); err == nil {
+		t.Error("oversubscribed platform accepted")
+	}
+}
+
+func TestTestbedPresets(t *testing.T) {
+	if got := testbed.GdX().TotalNodes(); got != 312 {
+		t.Errorf("GdX nodes = %d", got)
+	}
+	if got := testbed.Grid5000().TotalNodes(); got != 544 {
+		t.Errorf("Grid5000 nodes = %d (want 312+120+47+65)", got)
+	}
+	if got := testbed.DSLLab().TotalNodes(); got != 12 {
+		t.Errorf("DSLLab nodes = %d", got)
+	}
+	if _, _, err := testbed.GdX().NodeSpec(311); err != nil {
+		t.Errorf("NodeSpec(311): %v", err)
+	}
+	if _, _, err := testbed.GdX().NodeSpec(312); err == nil {
+		t.Error("NodeSpec out of range accepted")
+	}
+}
+
+func TestQuickBroadcastMonotoneInSize(t *testing.T) {
+	// Completion time must be monotone in file size for both protocols.
+	p := testbed.GdX()
+	f := func(aSeed, bSeed uint8) bool {
+		a := float64(aSeed%200+1) * mb
+		b := float64(bSeed%200+1) * mb
+		if a > b {
+			a, b = b, a
+		}
+		ftpA := FTPBroadcast(p, 40, a, nil).Completion
+		ftpB := FTPBroadcast(p, 40, b, nil).Completion
+		btA := SwarmBroadcast(p, 40, a, nil, nil).Completion
+		btB := SwarmBroadcast(p, 40, b, nil, nil).Completion
+		return ftpA <= ftpB+1e-9 && btA <= btB+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwarmBroadcastWithOverhead(t *testing.T) {
+	p := testbed.GdX()
+	plain := SwarmBroadcast(p, 50, 100*mb, nil, nil)
+	withOv := SwarmBroadcast(p, 50, 100*mb, DefaultOverhead(), nil)
+	if withOv.Completion <= plain.Completion {
+		t.Errorf("overheaded swarm (%.1fs) not slower than plain (%.1fs)", withOv.Completion, plain.Completion)
+	}
+	if withOv.Requests == 0 || withOv.ControlBytes == 0 {
+		t.Error("no control traffic accounted for swarm overhead")
+	}
+}
+
+func TestBroadcastPerNodeSorted(t *testing.T) {
+	p := testbed.GdX()
+	for _, proto := range []string{"ftp", "bittorrent"} {
+		r, err := Broadcast(p, proto, 30, 50*mb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.PerNode) != 30 {
+			t.Fatalf("%s: PerNode = %d", proto, len(r.PerNode))
+		}
+		for i := 1; i < len(r.PerNode); i++ {
+			if r.PerNode[i] < r.PerNode[i-1] {
+				t.Fatalf("%s: PerNode not sorted", proto)
+			}
+		}
+		if r.Completion != r.PerNode[len(r.PerNode)-1] {
+			t.Errorf("%s: Completion %.2f != last PerNode %.2f", proto, r.Completion, r.PerNode[len(r.PerNode)-1])
+		}
+	}
+}

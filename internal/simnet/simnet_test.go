@@ -1,0 +1,285 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const mb = 1e6
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlow(t *testing.T) {
+	s := New()
+	s.AddNode("a", 10*mb, 10*mb)
+	s.AddNode("b", 10*mb, 10*mb)
+	var doneAt float64 = -1
+	s.StartFlow("a", "b", 100*mb, func(at float64) { doneAt = at })
+	s.Run()
+	// 100 MB over a 10 MB/s path: 10 s.
+	if !almost(doneAt, 10, 1e-6) {
+		t.Errorf("doneAt = %v, want 10", doneAt)
+	}
+}
+
+func TestDownlinkBottleneck(t *testing.T) {
+	s := New()
+	s.AddNode("a", 100*mb, 100*mb)
+	s.AddNode("b", 100*mb, 5*mb)
+	var doneAt float64
+	s.StartFlow("a", "b", 50*mb, func(at float64) { doneAt = at })
+	s.Run()
+	if !almost(doneAt, 10, 1e-6) {
+		t.Errorf("doneAt = %v, want 10 (downlink-bound)", doneAt)
+	}
+}
+
+func TestUplinkSharedFairly(t *testing.T) {
+	// One server, two receivers: server uplink 10 MB/s shared 5/5; equal
+	// sizes finish together at t = size/5.
+	s := New()
+	s.AddNode("srv", 10*mb, 10*mb)
+	s.AddNode("r1", 100*mb, 100*mb)
+	s.AddNode("r2", 100*mb, 100*mb)
+	var t1, t2 float64
+	s.StartFlow("srv", "r1", 50*mb, func(at float64) { t1 = at })
+	s.StartFlow("srv", "r2", 50*mb, func(at float64) { t2 = at })
+	s.Run()
+	if !almost(t1, 10, 1e-6) || !almost(t2, 10, 1e-6) {
+		t.Errorf("t1=%v t2=%v, want 10", t1, t2)
+	}
+}
+
+func TestRateRecomputedOnCompletion(t *testing.T) {
+	// Two flows share 10 MB/s; the small one finishes at t=2 (10MB at
+	// 5MB/s), after which the big one runs at full rate:
+	// big: 2s at 5 + remaining 40MB at 10 => t = 2 + 4 = 6.
+	s := New()
+	s.AddNode("srv", 10*mb, 10*mb)
+	s.AddNode("r1", 100*mb, 100*mb)
+	s.AddNode("r2", 100*mb, 100*mb)
+	var tSmall, tBig float64
+	s.StartFlow("srv", "r1", 10*mb, func(at float64) { tSmall = at })
+	s.StartFlow("srv", "r2", 50*mb, func(at float64) { tBig = at })
+	s.Run()
+	if !almost(tSmall, 2, 1e-6) {
+		t.Errorf("tSmall = %v, want 2", tSmall)
+	}
+	if !almost(tBig, 6, 1e-6) {
+		t.Errorf("tBig = %v, want 6", tBig)
+	}
+}
+
+func TestMaxMinAsymmetric(t *testing.T) {
+	// Server uplink 9; r1 downlink 3 (bottlenecked), r2 downlink 100.
+	// Max-min: r1 gets 3, r2 gets the remaining 6.
+	s := New()
+	s.AddNode("srv", 9*mb, 9*mb)
+	s.AddNode("r1", 100*mb, 3*mb)
+	s.AddNode("r2", 100*mb, 100*mb)
+	var t1, t2 float64
+	s.StartFlow("srv", "r1", 30*mb, func(at float64) { t1 = at })
+	s.StartFlow("srv", "r2", 60*mb, func(at float64) { t2 = at })
+	s.Run()
+	if !almost(t1, 10, 1e-3) {
+		t.Errorf("t1 = %v, want 10 (3 MB/s)", t1)
+	}
+	if !almost(t2, 10, 1e-3) {
+		t.Errorf("t2 = %v, want 10 (6 MB/s)", t2)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(5, func() { order = append(order, "b") })
+	s.At(1, func() { order = append(order, "a") })
+	s.After(7, func() { order = append(order, "c") })
+	end := s.Run()
+	if !almost(end, 7, 1e-9) {
+		t.Errorf("end = %v", end)
+	}
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestDeferredFlowStart(t *testing.T) {
+	// A flow started at t=5 via a timer completes at 5 + size/rate.
+	s := New()
+	s.AddNode("a", 10*mb, 10*mb)
+	s.AddNode("b", 10*mb, 10*mb)
+	var doneAt float64
+	s.At(5, func() {
+		s.StartFlow("a", "b", 20*mb, func(at float64) { doneAt = at })
+	})
+	s.Run()
+	if !almost(doneAt, 7, 1e-6) {
+		t.Errorf("doneAt = %v, want 7", doneAt)
+	}
+}
+
+func TestNodeFailureKillsFlows(t *testing.T) {
+	s := New()
+	s.AddNode("a", 10*mb, 10*mb)
+	s.AddNode("b", 10*mb, 10*mb)
+	failed := false
+	finished := false
+	s.StartFlowF("a", "b", 100*mb, func(float64) { finished = true }, func(float64) { failed = true })
+	s.At(3, func() { s.FailNode("b") })
+	s.Run()
+	if finished || !failed {
+		t.Errorf("finished=%v failed=%v, want failure only", finished, failed)
+	}
+}
+
+func TestFailureFreesBandwidth(t *testing.T) {
+	// Two receivers share 10 MB/s; r2 dies at t=2; r1 then gets the full
+	// uplink: 10MB at 5 by t=2 (50MB left of 60) wait:
+	// r1 size 60: 2s at 5 => 50 left, then 10 MB/s => done at 7.
+	s := New()
+	s.AddNode("srv", 10*mb, 10*mb)
+	s.AddNode("r1", 100*mb, 100*mb)
+	s.AddNode("r2", 100*mb, 100*mb)
+	var t1 float64
+	s.StartFlow("srv", "r1", 60*mb, func(at float64) { t1 = at })
+	s.StartFlowF("srv", "r2", 500*mb, nil, func(float64) {})
+	s.At(2, func() { s.FailNode("r2") })
+	s.Run()
+	if !almost(t1, 7, 1e-6) {
+		t.Errorf("t1 = %v, want 7", t1)
+	}
+}
+
+func TestFlowToDeadNodeFailsImmediately(t *testing.T) {
+	s := New()
+	s.AddNode("a", mb, mb)
+	s.AddNode("b", mb, mb)
+	s.FailNode("b")
+	failed := false
+	s.StartFlowF("a", "b", mb, nil, func(float64) { failed = true })
+	s.Run()
+	if !failed {
+		t.Error("flow to dead node did not fail")
+	}
+}
+
+func TestZeroSizeFlowCompletesImmediately(t *testing.T) {
+	s := New()
+	s.AddNode("a", mb, mb)
+	s.AddNode("b", mb, mb)
+	done := false
+	s.StartFlow("a", "b", 0, func(float64) { done = true })
+	s.Run()
+	if !done {
+		t.Error("zero-size flow never completed")
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	s := New()
+	s.AddNode("a", mb, mb)
+	s.AddNode("b", mb, mb)
+	called := false
+	f := s.StartFlow("a", "b", 10*mb, func(float64) { called = true })
+	s.At(1, func() { s.CancelFlow(f) })
+	s.Run()
+	if called {
+		t.Error("cancelled flow fired onDone")
+	}
+}
+
+func TestReviveNode(t *testing.T) {
+	s := New()
+	s.AddNode("a", mb, mb)
+	s.AddNode("b", mb, mb)
+	s.FailNode("b")
+	s.ReviveNode("b")
+	done := false
+	s.StartFlow("a", "b", mb, func(float64) { done = true })
+	s.Run()
+	if !done {
+		t.Error("flow to revived node did not complete")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	s.AddNode("a", 10*mb, 10*mb)
+	s.AddNode("b", 10*mb, 10*mb)
+	f := s.StartFlow("a", "b", 100*mb, nil)
+	s.RunUntil(4)
+	if !almost(s.Now(), 4, 1e-9) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if !almost(f.Remaining(), 60*mb, 1) {
+		t.Errorf("Remaining = %v, want 60MB", f.Remaining())
+	}
+}
+
+// TestQuickCapacityConservation: total allocated rate out of a node never
+// exceeds its uplink, and per-flow rate never exceeds the receiver downlink.
+func TestQuickCapacityConservation(t *testing.T) {
+	f := func(nReceivers uint8, upSeed, downSeed uint16) bool {
+		n := int(nReceivers)%20 + 1
+		up := float64(upSeed%100) + 1
+		down := float64(downSeed%50) + 1
+		s := New()
+		s.AddNode("srv", up*mb, up*mb)
+		for i := 0; i < n; i++ {
+			s.AddNode(fmt.Sprintf("r%d", i), 100*mb, down*mb)
+		}
+		var flows []*Flow
+		for i := 0; i < n; i++ {
+			flows = append(flows, s.StartFlow("srv", fmt.Sprintf("r%d", i), 1000*mb, nil))
+		}
+		totalRate := 0.0
+		for _, fl := range flows {
+			if fl.Rate() > down*mb+1 {
+				return false
+			}
+			totalRate += fl.Rate()
+		}
+		if totalRate > up*mb+1 {
+			return false
+		}
+		// Bottleneck saturation: the binding constraint is fully used.
+		expected := math.Min(up*mb, float64(n)*down*mb)
+		return almost(totalRate, expected, expected*1e-9+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompletionTimeMatchesAnalytic checks n equal flows from one
+// server complete at n*size/uplink when the uplink is the bottleneck.
+func TestQuickCompletionTimeMatchesAnalytic(t *testing.T) {
+	f := func(nSeed uint8, sizeSeed uint16) bool {
+		n := int(nSeed)%10 + 1
+		size := (float64(sizeSeed%100) + 1) * mb
+		s := New()
+		s.AddNode("srv", 10*mb, 10*mb)
+		var last float64
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("r%d", i)
+			s.AddNode(name, 1000*mb, 1000*mb)
+			s.StartFlow("srv", name, size, func(at float64) { last = at })
+		}
+		s.Run()
+		want := float64(n) * size / (10 * mb)
+		return almost(last, want, want*1e-6+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New()
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,124 @@
+// Package testbed defines the simulated hardware platforms mirroring the
+// paper's three experimental testbeds (§4.1, Table 1):
+//
+//   - GdX: the Grid Explorer cluster at Orsay (micro-benchmarks and the
+//     transfer experiments of Figure 3);
+//   - Grid5000: four clusters on three sites (gdx, grelon, grillon,
+//     sagittaire) used for the 400-node BLAST run of Figure 6;
+//   - DSL-Lab: twelve broadband-ADSL hosts with asymmetric, heterogeneous
+//     links used for the fault-tolerance scenario of Figure 4.
+package testbed
+
+import "fmt"
+
+// MB is one megabyte in bytes (decimal, matching the paper's MB figures).
+const MB = 1e6
+
+// GB is one gigabyte in bytes.
+const GB = 1e9
+
+// Cluster is one homogeneous group of nodes.
+type Cluster struct {
+	Name  string
+	Nodes int
+	// UpBps / DownBps are per-node link capacities in bytes per second.
+	UpBps, DownBps float64
+	// CPUFactor scales compute speed relative to the reference node
+	// (gdx's 2.0 GHz Opteron 246 = 1.0).
+	CPUFactor float64
+	// UnzipBps is the local decompression throughput in bytes/s, bound by
+	// disk and CPU (used by the Figure 6 breakdown).
+	UnzipBps float64
+}
+
+// Platform is a complete simulated testbed: a stable service/server node
+// plus worker clusters.
+type Platform struct {
+	Name string
+	// ServerUpBps / ServerDownBps are the service host's link capacities.
+	ServerUpBps, ServerDownBps float64
+	Clusters                   []Cluster
+}
+
+// TotalNodes sums the nodes of every cluster.
+func (p Platform) TotalNodes() int {
+	n := 0
+	for _, c := range p.Clusters {
+		n += c.Nodes
+	}
+	return n
+}
+
+// NodeSpec returns the cluster and per-cluster index of global node i,
+// filling clusters in order.
+func (p Platform) NodeSpec(i int) (Cluster, int, error) {
+	for _, c := range p.Clusters {
+		if i < c.Nodes {
+			return c, i, nil
+		}
+		i -= c.Nodes
+	}
+	return Cluster{}, 0, fmt.Errorf("testbed: node %d out of range (platform has %d)", i, p.TotalNodes())
+}
+
+// gigabitBps is the effective application throughput of a GigE NIC
+// (~119 MiB/s theoretical; 117 MB/s observed is typical).
+const gigabitBps = 117 * MB
+
+// GdX models the Grid Explorer cluster: 312 IBM eServer nodes with AMD
+// Opteron 246/250, gigabit Ethernet.
+func GdX() Platform {
+	return Platform{
+		Name:          "gdx",
+		ServerUpBps:   gigabitBps,
+		ServerDownBps: gigabitBps,
+		Clusters: []Cluster{{
+			Name: "gdx", Nodes: 312,
+			UpBps: gigabitBps, DownBps: gigabitBps,
+			CPUFactor: 1.0, UnzipBps: 40 * MB,
+		}},
+	}
+}
+
+// Grid5000 models the four-cluster scalability testbed of Table 1.
+func Grid5000() Platform {
+	return Platform{
+		Name:          "grid5000",
+		ServerUpBps:   gigabitBps,
+		ServerDownBps: gigabitBps,
+		Clusters: []Cluster{
+			{Name: "gdx", Nodes: 312, UpBps: gigabitBps, DownBps: gigabitBps, CPUFactor: 1.0, UnzipBps: 40 * MB},
+			{Name: "grelon", Nodes: 120, UpBps: gigabitBps, DownBps: gigabitBps, CPUFactor: 0.8, UnzipBps: 32 * MB},
+			{Name: "grillon", Nodes: 47, UpBps: gigabitBps, DownBps: gigabitBps, CPUFactor: 1.0, UnzipBps: 40 * MB},
+			{Name: "sagittaire", Nodes: 65, UpBps: gigabitBps, DownBps: gigabitBps, CPUFactor: 1.2, UnzipBps: 48 * MB},
+		},
+	}
+}
+
+// DSLLabBandwidths lists the per-node (down, up) capacities in bytes/s of
+// the twelve DSL-Lab hosts. Broadband ADSL is asymmetric and varies by
+// provider; these values reproduce the 53–492 KB/s spread of Figure 4.
+var DSLLabBandwidths = [][2]float64{
+	{492e3, 128e3}, {211e3, 64e3}, {254e3, 64e3}, {247e3, 96e3},
+	{384e3, 128e3}, {53e3, 32e3}, {412e3, 96e3}, {332e3, 64e3},
+	{304e3, 96e3}, {259e3, 64e3}, {288e3, 64e3}, {341e3, 96e3},
+}
+
+// DSLLab models the broadband experimental platform: Mini-ITX nodes behind
+// consumer ADSL, where the server side (the experimenters' lab) has ample
+// bandwidth and each node's ADSL downlink is the bottleneck.
+func DSLLab() Platform {
+	p := Platform{
+		Name:          "dsllab",
+		ServerUpBps:   10 * MB,
+		ServerDownBps: 10 * MB,
+	}
+	for i, bw := range DSLLabBandwidths {
+		p.Clusters = append(p.Clusters, Cluster{
+			Name: fmt.Sprintf("DSL%02d", i+1), Nodes: 1,
+			DownBps: bw[0], UpBps: bw[1],
+			CPUFactor: 0.3, UnzipBps: 5 * MB,
+		})
+	}
+	return p
+}

@@ -1,0 +1,274 @@
+package transfer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bitdew/internal/data"
+	"bitdew/internal/repository"
+)
+
+// DefaultMonitorPeriod is the receiver-driven monitoring heartbeat; the
+// paper's stress experiments configure the DT heartbeat at 500ms.
+const DefaultMonitorPeriod = 500 * time.Millisecond
+
+// DefaultMaxAttempts bounds automatic resume attempts per transfer.
+const DefaultMaxAttempts = 3
+
+// Engine executes out-of-band transfers on a volatile host: it enforces a
+// concurrency level, retries and resumes faulty transfers, reports progress
+// to the DT service on the monitoring period, and verifies content
+// integrity (size + MD5) on completion. It is the machinery beneath the
+// TransferManager API.
+type Engine struct {
+	backend repository.Backend
+	dt      *Client // nil when running detached from a DT service
+	host    string
+
+	MonitorPeriod time.Duration
+	MaxAttempts   int
+
+	sem chan struct{}
+
+	mu      sync.Mutex
+	handles map[data.UID][]*Handle // by data UID
+}
+
+// NewEngine builds a transfer engine over local storage. dt may be nil
+// (transfers then run unreported, as in protocol-only benchmarks);
+// concurrency is the maximum number of simultaneous transfers.
+func NewEngine(backend repository.Backend, dt *Client, host string, concurrency int) *Engine {
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	return &Engine{
+		backend:       backend,
+		dt:            dt,
+		host:          host,
+		MonitorPeriod: DefaultMonitorPeriod,
+		MaxAttempts:   DefaultMaxAttempts,
+		sem:           make(chan struct{}, concurrency),
+		handles:       make(map[data.UID][]*Handle),
+	}
+}
+
+// Backend exposes the engine's local storage.
+func (e *Engine) Backend() repository.Backend { return e.backend }
+
+// Handle tracks one asynchronous transfer.
+type Handle struct {
+	DataUID data.UID
+	Kind    string // "download" | "upload"
+
+	mu       sync.Mutex
+	progress Progress
+	state    State
+	err      error
+	done     chan struct{}
+}
+
+// Err returns the terminal error (nil while running or on success).
+func (h *Handle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// State returns the current state.
+func (h *Handle) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Probe returns the latest observed progress without blocking.
+func (h *Handle) Probe() Progress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.progress
+}
+
+// Wait blocks until the transfer reaches a terminal state and returns its
+// error, mirroring the paper's transferManager.waitFor(data).
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.Err()
+}
+
+// WaitTimeout is Wait with a deadline.
+func (h *Handle) WaitTimeout(d time.Duration) error {
+	select {
+	case <-h.done:
+		return h.Err()
+	case <-time.After(d):
+		return fmt.Errorf("transfer: wait for %s timed out after %v", h.DataUID, d)
+	}
+}
+
+func (h *Handle) finish(state State, err error) {
+	h.mu.Lock()
+	h.state = state
+	h.err = err
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// Download starts fetching d from loc into local storage and returns
+// immediately (the non-blocking interface of the TransferManager API).
+func (e *Engine) Download(d data.Data, loc data.Locator) *Handle {
+	return e.start(d, loc, "download")
+}
+
+// Upload starts pushing d's local content to loc.
+func (e *Engine) Upload(d data.Data, loc data.Locator) *Handle {
+	return e.start(d, loc, "upload")
+}
+
+func (e *Engine) start(d data.Data, loc data.Locator, kind string) *Handle {
+	h := &Handle{DataUID: d.UID, Kind: kind, state: StatePending, done: make(chan struct{})}
+	e.mu.Lock()
+	e.handles[d.UID] = append(e.handles[d.UID], h)
+	e.mu.Unlock()
+	go e.run(h, d, loc)
+	return h
+}
+
+// WaitFor blocks until every transfer of the given datum completes,
+// returning the first error.
+func (e *Engine) WaitFor(uid data.UID) error {
+	e.mu.Lock()
+	hs := append([]*Handle(nil), e.handles[uid]...)
+	e.mu.Unlock()
+	var first error
+	for _, h := range hs {
+		if err := h.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Barrier blocks until every handle completes, returning the first error —
+// the transfer barrier of the TransferManager API.
+func Barrier(handles ...*Handle) error {
+	var first error
+	for _, h := range handles {
+		if err := h.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// run executes one transfer with retry/resume, monitoring and verification.
+func (e *Engine) run(h *Handle, d data.Data, loc data.Locator) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	var dtID data.UID
+	if e.dt != nil {
+		id, err := e.dt.Open(d.UID, loc.Protocol, e.host, d.Size)
+		if err == nil {
+			dtID = id
+		}
+	}
+	report := func(p Progress, st State, msg string) {
+		h.mu.Lock()
+		h.progress = p
+		h.state = st
+		h.mu.Unlock()
+		if e.dt != nil && dtID != "" {
+			e.dt.Report(dtID, p.Bytes, st, msg)
+		}
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= e.MaxAttempts; attempt++ {
+		if attempt > 1 && e.dt != nil && dtID != "" {
+			e.dt.Retry(dtID)
+		}
+		t, err := New(d, loc, e.backend)
+		if err != nil {
+			report(Progress{}, StateFailed, err.Error())
+			h.finish(StateFailed, err)
+			return
+		}
+		err = e.attempt(t, h, d, report)
+		t.Disconnect()
+		if err == nil {
+			// Receiver-driven verification: the receiver checks size and
+			// MD5 signature of what landed before declaring success.
+			if h.Kind == "download" {
+				if verr := e.verify(d); verr != nil {
+					// Corrupt content: discard and retry from scratch.
+					e.backend.Delete(string(d.UID))
+					lastErr = verr
+					continue
+				}
+			}
+			p := Progress{Bytes: d.Size, Total: d.Size, Done: true}
+			report(p, StateComplete, "")
+			h.finish(StateComplete, nil)
+			return
+		}
+		lastErr = err
+	}
+	report(h.Probe(), StateFailed, lastErr.Error())
+	h.finish(StateFailed, fmt.Errorf("transfer: %s of %s failed after %d attempts: %w",
+		h.Kind, d.UID, e.MaxAttempts, lastErr))
+}
+
+// attempt performs one protocol run while a monitor goroutine samples
+// progress on the monitoring period.
+func (e *Engine) attempt(t OOBTransfer, h *Handle, d data.Data, report func(Progress, State, string)) error {
+	if err := t.Connect(); err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		ticker := time.NewTicker(e.MonitorPeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if p, err := t.Probe(); err == nil {
+					report(p, StateActive, "")
+				}
+			}
+		}
+	}()
+	var err error
+	if h.Kind == "upload" {
+		err = t.Send()
+	} else {
+		err = t.Receive()
+	}
+	close(stop)
+	monWG.Wait()
+	return err
+}
+
+// verify checks the downloaded content against the datum's recorded size
+// and MD5 checksum. Data with no recorded checksum (empty slots) pass.
+func (e *Engine) verify(d data.Data) error {
+	if d.Checksum == "" && d.Size == 0 {
+		return nil
+	}
+	content, err := e.backend.Get(string(d.UID))
+	if err != nil {
+		return fmt.Errorf("transfer: verifying %s: %w", d.UID, err)
+	}
+	if int64(len(content)) != d.Size {
+		return fmt.Errorf("transfer: %s: received %d bytes, want %d", d.UID, len(content), d.Size)
+	}
+	if sum := data.ChecksumBytes(content); sum != d.Checksum {
+		return fmt.Errorf("transfer: %s: checksum %s != recorded %s", d.UID, sum, d.Checksum)
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+// Package transfer implements BitDew's Data Transfer service (DT) and the
+// out-of-band transfer framework of paper §3.4.2 and Figure 2.
+//
+// BitDew never moves bytes itself: data travel out-of-band through
+// pluggable file-transfer protocols. A protocol plugs in by implementing
+// the OOBTransfer interface — the paper's seven methods: open and close the
+// connection, probe the transfer, and send/receive from the sender and
+// receiver sides — and registering a factory under its protocol name.
+// Reliability is receiver-driven: the receiver is the authority on how many
+// bytes landed and whether the MD5 signature matches, and the engine polls
+// that state on the monitoring period, resuming or restarting transfers
+// that stall.
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bitdew/internal/data"
+	"bitdew/internal/protocols/ftp"
+	"bitdew/internal/protocols/httpx"
+	"bitdew/internal/protocols/swarm"
+	"bitdew/internal/repository"
+)
+
+// Progress is a snapshot of a transfer observed from the receiver side.
+type Progress struct {
+	// Bytes transferred so far.
+	Bytes int64
+	// Total bytes expected (0 when unknown).
+	Total int64
+	// Done reports logical completion (all bytes landed and verified when
+	// verification is the protocol's job).
+	Done bool
+}
+
+// OOBTransfer is one out-of-band transfer of one datum, bound at creation
+// to the datum, a locator and the local storage backend. Implementations
+// correspond to Figure 2's BlockingOOBTransfer: Send and Receive block
+// until the protocol finishes or fails. Non-blocking behaviour is layered
+// on top by the engine (Figure 2's NonBlockingOOBTransfer), so protocol
+// authors only write the seven primitive methods.
+type OOBTransfer interface {
+	// Connect opens protocol connections.
+	Connect() error
+	// Disconnect closes protocol connections. It must be safe to call
+	// after a failed Connect and more than once.
+	Disconnect() error
+	// Probe reports receiver-side progress.
+	Probe() (Progress, error)
+	// Receive downloads the datum from the locator into local storage,
+	// resuming from whatever prefix is already stored when the protocol
+	// supports it.
+	Receive() error
+	// Send uploads the datum from local storage to the locator.
+	Send() error
+}
+
+// Factory builds a transfer for (datum, locator) over the given backend.
+type Factory func(d data.Data, loc data.Locator, backend repository.Backend) (OOBTransfer, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterProtocol installs a transfer factory under a protocol name,
+// replacing any previous registration. The built-in protocols ("ftp",
+// "http", "bittorrent") are registered at init; users plug in new protocols
+// the same way, which is the extensibility point of Figure 2.
+func RegisterProtocol(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = f
+}
+
+// Protocols lists registered protocol names, sorted.
+func Protocols() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a transfer for the locator's protocol.
+func New(d data.Data, loc data.Locator, backend repository.Backend) (OOBTransfer, error) {
+	registryMu.RLock()
+	f := registry[loc.Protocol]
+	registryMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("transfer: no protocol %q registered (have %v)", loc.Protocol, Protocols())
+	}
+	return f(d, loc, backend)
+}
+
+func init() {
+	RegisterProtocol("ftp", newFTPTransfer)
+	RegisterProtocol("http", newHTTPTransfer)
+	RegisterProtocol("bittorrent", newSwarmTransfer)
+}
+
+// errNotConnected is returned by operations before Connect.
+var errNotConnected = errors.New("transfer: not connected")
+
+// ftpTransfer moves a datum over the ftp protocol with offset resume.
+type ftpTransfer struct {
+	d       data.Data
+	loc     data.Locator
+	backend repository.Backend
+
+	mu     sync.Mutex
+	client *ftp.Client
+	done   bool
+}
+
+func newFTPTransfer(d data.Data, loc data.Locator, backend repository.Backend) (OOBTransfer, error) {
+	return &ftpTransfer{d: d, loc: loc, backend: backend}, nil
+}
+
+func (t *ftpTransfer) Connect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.client != nil {
+		return nil
+	}
+	c, err := ftp.Dial(t.loc.Host)
+	if err != nil {
+		return err
+	}
+	t.client = c
+	return nil
+}
+
+func (t *ftpTransfer) Disconnect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.client == nil {
+		return nil
+	}
+	err := t.client.Close()
+	t.client = nil
+	return err
+}
+
+func (t *ftpTransfer) Probe() (Progress, error) {
+	stored, err := t.backend.Size(string(t.d.UID))
+	if err != nil {
+		stored = 0
+	}
+	t.mu.Lock()
+	done := t.done
+	t.mu.Unlock()
+	return Progress{Bytes: stored, Total: t.d.Size, Done: done}, nil
+}
+
+func (t *ftpTransfer) Receive() error {
+	t.mu.Lock()
+	c := t.client
+	t.mu.Unlock()
+	if c == nil {
+		return errNotConnected
+	}
+	// Resume from the locally stored prefix.
+	offset, err := t.backend.Size(string(t.d.UID))
+	if err != nil {
+		offset = 0
+	}
+	if offset > t.d.Size {
+		// Stale larger content: restart.
+		if err := t.backend.Put(string(t.d.UID), nil); err != nil {
+			return err
+		}
+		offset = 0
+	}
+	w := &backendWriter{backend: t.backend, ref: string(t.d.UID)}
+	if _, err := c.Retrieve(t.loc.Ref, offset, w); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *ftpTransfer) Send() error {
+	t.mu.Lock()
+	c := t.client
+	t.mu.Unlock()
+	if c == nil {
+		return errNotConnected
+	}
+	content, err := t.backend.Get(string(t.d.UID))
+	if err != nil {
+		return fmt.Errorf("transfer: local content of %s: %w", t.d.UID, err)
+	}
+	// Resume an interrupted upload where the server left off.
+	offset, err := c.Size(t.loc.Ref)
+	if err != nil || offset > int64(len(content)) {
+		offset = 0
+	}
+	if err := c.Store(t.loc.Ref, offset, int64(len(content))-offset, bytes.NewReader(content[offset:])); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}
+
+// backendWriter appends a download stream into a backend ref.
+type backendWriter struct {
+	backend repository.Backend
+	ref     string
+}
+
+func (w *backendWriter) Write(p []byte) (int, error) {
+	if err := w.backend.Append(w.ref, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// httpTransfer moves a datum over HTTP with Range resume.
+type httpTransfer struct {
+	d       data.Data
+	loc     data.Locator
+	backend repository.Backend
+
+	mu        sync.Mutex
+	client    *httpx.Client
+	connected bool
+	done      bool
+}
+
+func newHTTPTransfer(d data.Data, loc data.Locator, backend repository.Backend) (OOBTransfer, error) {
+	return &httpTransfer{d: d, loc: loc, backend: backend, client: httpx.NewClient()}, nil
+}
+
+func (t *httpTransfer) Connect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.connected = true // HTTP connects per request
+	return nil
+}
+
+func (t *httpTransfer) Disconnect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.connected = false
+	return nil
+}
+
+func (t *httpTransfer) Probe() (Progress, error) {
+	stored, err := t.backend.Size(string(t.d.UID))
+	if err != nil {
+		stored = 0
+	}
+	t.mu.Lock()
+	done := t.done
+	t.mu.Unlock()
+	return Progress{Bytes: stored, Total: t.d.Size, Done: done}, nil
+}
+
+func (t *httpTransfer) Receive() error {
+	t.mu.Lock()
+	ok := t.connected
+	t.mu.Unlock()
+	if !ok {
+		return errNotConnected
+	}
+	offset, err := t.backend.Size(string(t.d.UID))
+	if err != nil {
+		offset = 0
+	}
+	if offset > t.d.Size {
+		if err := t.backend.Put(string(t.d.UID), nil); err != nil {
+			return err
+		}
+		offset = 0
+	}
+	w := &backendWriter{backend: t.backend, ref: string(t.d.UID)}
+	if offset == t.d.Size && t.d.Size > 0 {
+		// Already fully stored; nothing to fetch.
+	} else if _, err := t.client.Get(t.loc.Host, t.loc.Ref, offset, w); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *httpTransfer) Send() error {
+	t.mu.Lock()
+	ok := t.connected
+	t.mu.Unlock()
+	if !ok {
+		return errNotConnected
+	}
+	content, err := t.backend.Get(string(t.d.UID))
+	if err != nil {
+		return fmt.Errorf("transfer: local content of %s: %w", t.d.UID, err)
+	}
+	if err := t.client.Put(t.loc.Host, t.loc.Ref, bytes.NewReader(content)); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}
+
+// swarmTransfer joins a collaborative swarm: Receive leeches, and after
+// completion the peer keeps serving pieces until Disconnect. Send seeds the
+// local content into the swarm (used by the node that issued put).
+type swarmTransfer struct {
+	d       data.Data
+	loc     data.Locator // Host is the tracker address; Ref the data UID
+	backend repository.Backend
+
+	mu   sync.Mutex
+	peer *swarm.Peer
+	done bool
+}
+
+func newSwarmTransfer(d data.Data, loc data.Locator, backend repository.Backend) (OOBTransfer, error) {
+	if d.Checksum == "" {
+		return nil, fmt.Errorf("transfer: bittorrent needs the datum checksum as infohash (datum %s has none)", d.UID)
+	}
+	return &swarmTransfer{d: d, loc: loc, backend: backend}, nil
+}
+
+func (t *swarmTransfer) Connect() error { return nil } // peers start in Send/Receive
+
+func (t *swarmTransfer) Disconnect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.peer != nil {
+		err := t.peer.Close()
+		t.peer = nil
+		return err
+	}
+	return nil
+}
+
+func (t *swarmTransfer) Probe() (Progress, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.peer == nil {
+		stored, err := t.backend.Size(string(t.d.UID))
+		if err != nil {
+			stored = 0
+		}
+		return Progress{Bytes: stored, Total: t.d.Size, Done: t.done}, nil
+	}
+	have, total := t.peer.Progress()
+	bytes := int64(0)
+	if total > 0 {
+		bytes = int64(float64(have) / float64(total) * float64(t.d.Size))
+	}
+	return Progress{Bytes: bytes, Total: t.d.Size, Done: t.done}, nil
+}
+
+func (t *swarmTransfer) Receive() error {
+	meta, err := swarm.FetchMeta(t.loc.Host, t.d.Checksum)
+	if err != nil {
+		return fmt.Errorf("transfer: fetching swarm metainfo: %w", err)
+	}
+	meta.Ref = string(t.d.UID) // store under the local UID ref
+	p, err := swarm.NewLeecher(t.backend, meta, t.loc.Host, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.peer = p
+	t.mu.Unlock()
+	if err := p.Download(10 * time.Minute); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *swarmTransfer) Send() error {
+	content, err := t.backend.Get(string(t.d.UID))
+	if err != nil {
+		return fmt.Errorf("transfer: local content of %s: %w", t.d.UID, err)
+	}
+	meta := swarm.NewMetainfo(string(t.d.UID), content, swarm.DefaultPieceSize)
+	p, err := swarm.NewSeeder(t.backend, meta, t.loc.Host, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.peer = p
+	t.done = true
+	t.mu.Unlock()
+	return nil
+}

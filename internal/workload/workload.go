@@ -1,0 +1,219 @@
+// Package workload generates the synthetic scientific workloads used by
+// the examples and benchmarks in place of the paper's proprietary inputs:
+// a deterministic DNA "genebase" standing in for the 2.68 GB GeneBank
+// archive, query sequences drawn from it, a sequence-similarity search
+// kernel standing in for NCBI blastn (same I/O and compute pattern:
+// seed-match scanning plus ungapped extension over the whole base), and a
+// filecule generator reproducing the grouped-file access patterns of
+// high-energy physics workloads the paper cites ([22]).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+var alphabet = []byte("ACGT")
+
+// Genebase returns size bytes of deterministic pseudo-random DNA. The same
+// (size, seed) pair always yields identical content, so distributed tests
+// can verify checksums without shipping the base around.
+func Genebase(size int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(4)]
+	}
+	return out
+}
+
+// Query is one search sequence with a ground-truth origin.
+type Query struct {
+	Name string
+	Seq  []byte
+	// Origin is the offset in the genebase the query was sampled from
+	// (-1 for random queries with no planted match).
+	Origin int
+}
+
+// SampleQueries draws n queries of length qlen from the base, mutating
+// mutRate of their positions, so the search kernel has real hits to find.
+func SampleQueries(base []byte, n, qlen int, mutRate float64, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		if qlen >= len(base) {
+			qlen = len(base) / 2
+		}
+		origin := rng.Intn(len(base) - qlen)
+		seq := append([]byte(nil), base[origin:origin+qlen]...)
+		for j := range seq {
+			if rng.Float64() < mutRate {
+				seq[j] = alphabet[rng.Intn(4)]
+			}
+		}
+		out = append(out, Query{Name: fmt.Sprintf("seq-%03d", i), Seq: seq, Origin: origin})
+	}
+	return out
+}
+
+// Hit is one local alignment found by Search.
+type Hit struct {
+	// Pos is the match position in the base.
+	Pos int
+	// Score is the ungapped-extension score (matches - mismatches).
+	Score int
+	// Length is the extended alignment length.
+	Length int
+}
+
+const seedLen = 11 // blastn's default word size
+
+// hashSeed maps a seedLen-mer to a table key (2 bits per symbol).
+func hashSeed(s []byte) (uint32, bool) {
+	var h uint32
+	for _, c := range s {
+		var code uint32
+		switch c {
+		case 'A':
+			code = 0
+		case 'C':
+			code = 1
+		case 'G':
+			code = 2
+		case 'T':
+			code = 3
+		default:
+			return 0, false
+		}
+		h = h<<2 | code
+	}
+	return h, true
+}
+
+// Search runs the blastn-like kernel: index the query's seed words, scan
+// the base for exact seed matches, then extend each match without gaps and
+// keep alignments scoring at least minScore. The scan touches every byte
+// of the base, matching the real tool's full-database compute profile.
+func Search(base, query []byte, minScore int) []Hit {
+	if len(query) < seedLen || len(base) < seedLen {
+		return nil
+	}
+	// Index query seeds.
+	seeds := make(map[uint32][]int)
+	for i := 0; i+seedLen <= len(query); i++ {
+		if h, ok := hashSeed(query[i : i+seedLen]); ok {
+			seeds[h] = append(seeds[h], i)
+		}
+	}
+	var hits []Hit
+	lastPos := -1
+	// Rolling scan of the base.
+	var h uint32
+	valid := 0
+	const mask = 1<<(2*seedLen) - 1
+	for i := 0; i < len(base); i++ {
+		var code uint32
+		switch base[i] {
+		case 'A':
+			code = 0
+		case 'C':
+			code = 1
+		case 'G':
+			code = 2
+		case 'T':
+			code = 3
+		default:
+			valid = 0
+			continue
+		}
+		h = (h<<2 | code) & mask
+		if valid < seedLen {
+			valid++
+		}
+		if valid < seedLen {
+			continue
+		}
+		basePos := i - seedLen + 1
+		for _, qPos := range seeds[h] {
+			start := basePos - qPos
+			if start <= lastPos { // avoid re-reporting the same region
+				continue
+			}
+			score, length := extend(base, query, start)
+			if score >= minScore {
+				hits = append(hits, Hit{Pos: start, Score: score, Length: length})
+				lastPos = start
+			}
+		}
+	}
+	return hits
+}
+
+// extend aligns query against base at offset start without gaps.
+func extend(base, query []byte, start int) (score, length int) {
+	for i := 0; i < len(query); i++ {
+		p := start + i
+		if p < 0 || p >= len(base) {
+			break
+		}
+		length++
+		if base[p] == query[i] {
+			score++
+		} else {
+			score--
+		}
+	}
+	return score, length
+}
+
+// SearchReport formats hits the way the examples print them.
+func SearchReport(q Query, hits []Hit) string {
+	if len(hits) == 0 {
+		return fmt.Sprintf("%s: no hits", q.Name)
+	}
+	best := hits[0]
+	for _, h := range hits {
+		if h.Score > best.Score {
+			best = h
+		}
+	}
+	return fmt.Sprintf("%s: %d hits, best score %d at %d", q.Name, len(hits), best.Score, best.Pos)
+}
+
+// Filecule is a group of files accessed together (the "filecules" of
+// high-energy physics workloads, paper §2.2): replicating whole groups on
+// the same hosts is what BitDew's affinity attribute enables.
+type Filecule struct {
+	Name  string
+	Files []FileSpec
+}
+
+// FileSpec is one member file.
+type FileSpec struct {
+	Name string
+	Size int64
+}
+
+// Filecules draws n groups. Group sizes follow a Zipf-like distribution
+// (few big groups, many small ones) and file sizes are log-uniform between
+// minSize and maxSize, matching the heavy-tailed mixes of [22].
+func Filecules(n int, minSize, maxSize int64, seed int64) []Filecule {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Filecule, 0, n)
+	for i := 0; i < n; i++ {
+		// Zipf-ish group cardinality: rank-dependent, 1..12 files.
+		members := 1 + int(12/float64(rng.Intn(12)+1))
+		fc := Filecule{Name: fmt.Sprintf("filecule-%03d", i)}
+		for j := 0; j < members; j++ {
+			size := float64(minSize) * math.Pow(float64(maxSize)/float64(minSize), rng.Float64())
+			fc.Files = append(fc.Files, FileSpec{
+				Name: fmt.Sprintf("%s/f%02d", fc.Name, j),
+				Size: int64(size),
+			})
+		}
+		out = append(out, fc)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenebaseDeterministic(t *testing.T) {
+	a := Genebase(10_000, 42)
+	b := Genebase(10_000, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different genebases")
+	}
+	c := Genebase(10_000, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical genebases")
+	}
+	for _, ch := range a {
+		if ch != 'A' && ch != 'C' && ch != 'G' && ch != 'T' {
+			t.Fatalf("non-DNA byte %q", ch)
+		}
+	}
+}
+
+func TestSampleQueriesPlantedMatches(t *testing.T) {
+	base := Genebase(100_000, 1)
+	queries := SampleQueries(base, 10, 200, 0.02, 2)
+	if len(queries) != 10 {
+		t.Fatalf("got %d queries", len(queries))
+	}
+	for _, q := range queries {
+		if len(q.Seq) != 200 {
+			t.Errorf("%s: len %d", q.Name, len(q.Seq))
+		}
+		if q.Origin < 0 || q.Origin+200 > len(base) {
+			t.Errorf("%s: origin %d out of range", q.Name, q.Origin)
+		}
+	}
+}
+
+func TestSearchFindsPlantedQuery(t *testing.T) {
+	base := Genebase(200_000, 3)
+	queries := SampleQueries(base, 5, 300, 0.01, 4)
+	for _, q := range queries {
+		hits := Search(base, q.Seq, 200)
+		found := false
+		for _, h := range hits {
+			if h.Pos == q.Origin {
+				found = true
+				if h.Score < 250 { // ~1% mutations on 300 bases
+					t.Errorf("%s: low score %d at origin", q.Name, h.Score)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: planted match at %d not found (hits %v)", q.Name, q.Origin, hits)
+		}
+	}
+}
+
+func TestSearchNoFalseHitsForForeignQuery(t *testing.T) {
+	base := Genebase(100_000, 5)
+	foreign := Genebase(300, 999) // unrelated sequence
+	hits := Search(base, foreign, 250)
+	if len(hits) != 0 {
+		t.Errorf("foreign query matched: %v", hits)
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	if hits := Search(nil, nil, 1); hits != nil {
+		t.Error("nil inputs produced hits")
+	}
+	if hits := Search([]byte("ACGT"), []byte("ACGTACGTACGTACGT"), 1); hits != nil {
+		t.Error("base shorter than seed produced hits")
+	}
+	base := Genebase(1000, 6)
+	if hits := Search(base, base[:8], 1); hits != nil {
+		t.Error("query shorter than seed produced hits")
+	}
+}
+
+func TestSearchHandlesNonDNABytes(t *testing.T) {
+	base := append(Genebase(1000, 7), 'N', 'N')
+	base = append(base, Genebase(1000, 8)...)
+	q := base[100:250]
+	hits := Search(base, q, 100)
+	if len(hits) == 0 {
+		t.Error("exact substring not found across N-containing base")
+	}
+}
+
+func TestQuickExactSubstringAlwaysFound(t *testing.T) {
+	base := Genebase(50_000, 9)
+	f := func(offSeed uint16, lenSeed uint8) bool {
+		qlen := int(lenSeed)%200 + seedLen
+		off := int(offSeed) % (len(base) - qlen)
+		q := base[off : off+qlen]
+		hits := Search(base, q, qlen) // exact match scores len(q)
+		for _, h := range hits {
+			if h.Pos == off && h.Score == qlen {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchReport(t *testing.T) {
+	q := Query{Name: "q1"}
+	if got := SearchReport(q, nil); !strings.Contains(got, "no hits") {
+		t.Errorf("empty report = %q", got)
+	}
+	got := SearchReport(q, []Hit{{Pos: 5, Score: 10}, {Pos: 9, Score: 20}})
+	if !strings.Contains(got, "best score 20 at 9") {
+		t.Errorf("report = %q", got)
+	}
+}
+
+func TestFilecules(t *testing.T) {
+	fcs := Filecules(20, 1_000, 1_000_000, 11)
+	if len(fcs) != 20 {
+		t.Fatalf("got %d filecules", len(fcs))
+	}
+	sizes := map[int]int{}
+	for _, fc := range fcs {
+		if len(fc.Files) == 0 {
+			t.Errorf("%s has no files", fc.Name)
+		}
+		sizes[len(fc.Files)]++
+		for _, f := range fc.Files {
+			if f.Size < 1_000 || f.Size > 1_000_000 {
+				t.Errorf("%s: size %d out of range", f.Name, f.Size)
+			}
+		}
+	}
+	if len(sizes) < 3 {
+		t.Errorf("group cardinality not heavy-tailed: %v", sizes)
+	}
+	// Determinism.
+	again := Filecules(20, 1_000, 1_000_000, 11)
+	if len(again) != len(fcs) || again[3].Files[0].Size != fcs[3].Files[0].Size {
+		t.Error("filecules not deterministic")
+	}
+}
