@@ -11,7 +11,24 @@
 // DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-versus-measured results.
 //
+// The request path is batch-first end to end, because the paper's
+// evaluation (§4) shows throughput bounded by per-datum service round
+// trips. The rpc layer carries many logical calls in one frame
+// (rpc.CallBatch) and coalesces concurrent callers onto shared frames
+// (rpc.NewCoalescer); the services expose native batch endpoints
+// (catalog RegisterBatch/AddLocatorBatch/LocatorsBatch, repository
+// LocatorBatch, scheduler delta synchronization); and the core APIs build
+// on them: prefer BitDew.PutAll, CreateDataBatch, FetchAll,
+// ActiveData.ScheduleAll and mw.Master.SubmitAll whenever more than one
+// datum moves — N data cost a handful of round trips instead of ~5·N. The
+// single-datum calls (Put, CreateData, Fetch, Submit) remain as thin
+// wrappers over the same path. Volatile hosts heartbeat the scheduler
+// with cache deltas (adds/removes since the last acknowledged epoch)
+// rather than reshipping their full cache set every period.
+//
 // The benchmarks in bench_test.go regenerate the paper's tables on the
 // real components and its figures on the simulated testbeds; the
 // cmd/bench-tables binary prints them in the paper's row/column format.
+// batch_bench_test.go measures the batch path's round-trip collapse over
+// the latency-injected "RMI remote" transport.
 package bitdew

@@ -74,14 +74,18 @@ func main() {
 	}
 	fmt.Printf("shared genebase: %d bases\n", len(base))
 
-	// Submit one task per query sequence (fault tolerant, HTTP).
+	// Submit one task per query sequence (fault tolerant, HTTP). The whole
+	// task list goes through the batch-first path — a handful of service
+	// round trips instead of five per query.
 	qs := workload.SampleQueries(base, queries, queryLen, mutations, 7)
-	for _, q := range qs {
-		if _, err := master.Submit(q.Name, q.Seq, 1); err != nil {
-			log.Fatal(err)
-		}
+	specs := make([]mw.TaskSpec, len(qs))
+	for i, q := range qs {
+		specs[i] = mw.TaskSpec{Name: q.Name, Input: q.Seq, Replica: 1}
 	}
-	fmt.Printf("submitted %d query tasks\n", len(qs))
+	if _, err := master.SubmitAll(specs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %d query tasks in one batch\n", len(qs))
 
 	// Drive workers concurrently with the master's collection loop.
 	for _, wn := range wnodes {

@@ -3,6 +3,9 @@
 // framework. A word-count over a corpus: splits scatter to workers as map
 // tasks, intermediate pairs shuffle through the data space, reduce tasks
 // fold the counts, and everything is cleaned by deleting the Collector.
+// Both task waves are submitted through the batch-first request path
+// (mw.Master.SubmitAll), so each phase costs a handful of service round
+// trips regardless of the number of splits.
 //
 //	go run ./examples/mapreduce
 package main

@@ -1,0 +1,3 @@
+module bitdew
+
+go 1.22

@@ -1,0 +1,119 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"bitdew/internal/data"
+	"bitdew/internal/rpc"
+)
+
+func TestRegisterBatch(t *testing.T) {
+	s := newService()
+	ds := []data.Data{
+		*data.NewFromBytes("a", []byte("aa")),
+		*data.NewFromBytes("b", []byte("bb")),
+		*data.NewFromBytes("c", []byte("cc")),
+	}
+	if err := s.RegisterBatch(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		got, err := s.Get(d.UID)
+		if err != nil || got.Name != d.Name {
+			t.Errorf("Get %s = %+v, %v", d.Name, got, err)
+		}
+	}
+}
+
+func TestRegisterBatchAttemptsAll(t *testing.T) {
+	s := newService()
+	good := *data.NewFromBytes("good", []byte("x"))
+	bad := data.Data{Name: "no-uid"}
+	err := s.RegisterBatch([]data.Data{bad, good})
+	if err == nil || !strings.Contains(err.Error(), "no uid") {
+		t.Fatalf("err = %v, want no-uid failure", err)
+	}
+	// The valid datum after the failing one was still registered.
+	if _, err := s.Get(good.UID); err != nil {
+		t.Errorf("good datum not registered: %v", err)
+	}
+}
+
+func TestAddLocatorBatchAndLocatorsBatch(t *testing.T) {
+	s := newService()
+	ds := []data.Data{
+		*data.NewFromBytes("a", []byte("aa")),
+		*data.NewFromBytes("b", []byte("bb")),
+	}
+	if err := s.RegisterBatch(ds); err != nil {
+		t.Fatal(err)
+	}
+	ls := []data.Locator{
+		{DataUID: ds[0].UID, Protocol: "http", Host: "h:1", Ref: string(ds[0].UID)},
+		{DataUID: ds[1].UID, Protocol: "ftp", Host: "h:2", Ref: string(ds[1].UID)},
+	}
+	if err := s.AddLocatorBatch(ls); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent, like AddLocator.
+	if err := s.AddLocatorBatch(ls); err != nil {
+		t.Fatal(err)
+	}
+	unknown := data.NewUID()
+	got, err := s.LocatorsBatch([]data.UID{ds[0].UID, unknown, ds[1].UID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("LocatorsBatch returned %d slots, want 3 (aligned)", len(got))
+	}
+	if len(got[0]) != 1 || got[0][0] != ls[0] {
+		t.Errorf("slot 0 = %+v", got[0])
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("unknown datum yielded locators: %+v", got[1])
+	}
+	if len(got[2]) != 1 || got[2][0] != ls[1] {
+		t.Errorf("slot 2 = %+v", got[2])
+	}
+}
+
+func TestBatchOverRPC(t *testing.T) {
+	s := newService()
+	mux := rpc.NewMux()
+	s.Mount(mux)
+	c := NewClient(rpc.NewLocalClient(mux, 0))
+
+	ds := []data.Data{
+		*data.NewFromBytes("a", []byte("aa")),
+		*data.NewFromBytes("b", []byte("bb")),
+	}
+	if err := c.RegisterBatch(ds); err != nil {
+		t.Fatal(err)
+	}
+	ls := []data.Locator{
+		{DataUID: ds[0].UID, Protocol: "http", Host: "h:1", Ref: string(ds[0].UID)},
+	}
+	if err := c.AddLocatorBatch(ls); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LocatorsBatch([]data.UID{ds[0].UID, ds[1].UID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 1 || len(got[1]) != 0 {
+		t.Fatalf("LocatorsBatch over rpc = %+v", got)
+	}
+
+	// Empty batches short-circuit without a round trip.
+	if err := c.RegisterBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLocatorBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.LocatorsBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty LocatorsBatch = %v, %v", out, err)
+	}
+}

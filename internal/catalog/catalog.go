@@ -153,6 +153,47 @@ func (s *Service) All() ([]data.Data, error) {
 	return s.SearchByPrefix("")
 }
 
+// RegisterBatch records many data in one call — the batch-first analogue of
+// Register for the hot path where a master creates thousands of slots. Every
+// datum is attempted (registration is idempotent, so retrying a partially
+// failed batch is safe); the per-datum errors are joined.
+func (s *Service) RegisterBatch(ds []data.Data) error {
+	var errs []error
+	for _, d := range ds {
+		if err := s.Register(d); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AddLocatorBatch attaches many locators in one call, delegating each to
+// AddLocator (same validation and idempotence), joining per-item errors.
+func (s *Service) AddLocatorBatch(ls []data.Locator) error {
+	var errs []error
+	for _, l := range ls {
+		if err := s.AddLocator(l); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// LocatorsBatch returns the locator lists of many data in one call, aligned
+// with uids. Data without locators (or unknown to the catalog) yield a nil
+// slice, matching Locators' behaviour for an absent entry.
+func (s *Service) LocatorsBatch(uids []data.UID) ([][]data.Locator, error) {
+	out := make([][]data.Locator, len(uids))
+	for i, uid := range uids {
+		locs, err := s.Locators(uid)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = locs
+	}
+	return out, nil
+}
+
 // AddLocator attaches a locator (remote-access description of a permanent
 // copy) to its datum.
 func (s *Service) AddLocator(l data.Locator) error {
@@ -222,6 +263,15 @@ func (s *Service) Mount(m *rpc.Mux) {
 	rpc.Register(m, ServiceName, "All", func(struct{}) ([]data.Data, error) {
 		return s.All()
 	})
+	rpc.Register(m, ServiceName, "RegisterBatch", func(ds []data.Data) (struct{}, error) {
+		return struct{}{}, s.RegisterBatch(ds)
+	})
+	rpc.Register(m, ServiceName, "AddLocatorBatch", func(ls []data.Locator) (struct{}, error) {
+		return struct{}{}, s.AddLocatorBatch(ls)
+	})
+	rpc.Register(m, ServiceName, "LocatorsBatch", func(uids []data.UID) ([][]data.Locator, error) {
+		return s.LocatorsBatch(uids)
+	})
 }
 
 // Client is the typed client of a remote Data Catalog.
@@ -273,6 +323,51 @@ func (c *Client) All() ([]data.Data, error) {
 	var out []data.Data
 	err := c.c.Call(ServiceName, "All", struct{}{}, &out)
 	return out, err
+}
+
+// RegisterBatch records many data in one round trip.
+func (c *Client) RegisterBatch(ds []data.Data) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	return c.c.Call(ServiceName, "RegisterBatch", ds, nil)
+}
+
+// AddLocatorBatch attaches many locators in one round trip.
+func (c *Client) AddLocatorBatch(ls []data.Locator) error {
+	if len(ls) == 0 {
+		return nil
+	}
+	return c.c.Call(ServiceName, "AddLocatorBatch", ls, nil)
+}
+
+// LocatorsBatch lists the locators of many data in one round trip; the
+// result is aligned with uids.
+func (c *Client) LocatorsBatch(uids []data.UID) ([][]data.Locator, error) {
+	if len(uids) == 0 {
+		return nil, nil
+	}
+	var out [][]data.Locator
+	err := c.c.Call(ServiceName, "LocatorsBatch", uids, &out)
+	return out, err
+}
+
+// RegisterBatchCall builds the batchable form of RegisterBatch for a
+// cross-service rpc.CallBatch frame.
+func (c *Client) RegisterBatchCall(ds []data.Data) *rpc.Call {
+	return rpc.NewCall(ServiceName, "RegisterBatch", ds, nil)
+}
+
+// LocatorsBatchCall builds the batchable form of LocatorsBatch, decoding
+// into reply.
+func (c *Client) LocatorsBatchCall(uids []data.UID, reply *[][]data.Locator) *rpc.Call {
+	return rpc.NewCall(ServiceName, "LocatorsBatch", uids, reply)
+}
+
+// DeleteCall builds a batchable delete for a cross-service rpc.CallBatch
+// frame (e.g. catalog delete + scheduler unschedule in one round trip).
+func (c *Client) DeleteCall(uid data.UID) *rpc.Call {
+	return rpc.NewCall(ServiceName, "Delete", uid, nil)
 }
 
 // DDC is the Distributed Data Catalog: replica ownership published through

@@ -67,12 +67,15 @@ func sliceTaskName(name string, i int) string {
 // Scatter distributes content in n slices across the reservoir hosts: each
 // slice becomes a fault-tolerant task datum the scheduler places on
 // exactly one host. Workers see slices as ordinary tasks (name
-// "scatter:<name>:<index>").
+// "scatter:<name>:<index>"). All slices are submitted through the batched
+// request path in a handful of round trips.
 func Scatter(master *mw.Master, name string, content []byte, n int) error {
+	var specs []mw.TaskSpec
 	for i, slice := range SplitBytes(content, n) {
-		if _, err := master.Submit(sliceTaskName(name, i), slice, 1); err != nil {
-			return fmt.Errorf("collective: scatter %s[%d]: %w", name, i, err)
-		}
+		specs = append(specs, mw.TaskSpec{Name: sliceTaskName(name, i), Input: slice, Replica: 1})
+	}
+	if _, err := master.SubmitAll(specs); err != nil {
+		return fmt.Errorf("collective: scatter %s: %w", name, err)
 	}
 	return nil
 }
@@ -196,12 +199,13 @@ func RunMapReduce(master *mw.Master, job string, splits [][]byte, r, rounds int)
 	if r < 1 {
 		r = 1
 	}
-	// Map phase.
+	// Map phase: every split submitted in one batch.
+	mapSpecs := make([]mw.TaskSpec, len(splits))
 	for i, split := range splits {
-		name := fmt.Sprintf("map:%s:%06d", job, i)
-		if _, err := master.Submit(name, split, 1); err != nil {
-			return nil, fmt.Errorf("collective: submitting %s: %w", name, err)
-		}
+		mapSpecs[i] = mw.TaskSpec{Name: fmt.Sprintf("map:%s:%06d", job, i), Input: split, Replica: 1}
+	}
+	if _, err := master.SubmitAll(mapSpecs); err != nil {
+		return nil, fmt.Errorf("collective: submitting map tasks: %w", err)
 	}
 	mapResults, err := master.Collect(len(splits), rounds)
 	if err != nil {
@@ -219,8 +223,8 @@ func RunMapReduce(master *mw.Master, job string, splits [][]byte, r, rounds int)
 			parts[p] = append(parts[p], kv)
 		}
 	}
-	// Reduce phase.
-	submitted := 0
+	// Reduce phase, batched like the map phase.
+	var reduceSpecs []mw.TaskSpec
 	for p, kvs := range parts {
 		if len(kvs) == 0 {
 			continue
@@ -229,13 +233,14 @@ func RunMapReduce(master *mw.Master, job string, splits [][]byte, r, rounds int)
 		if err != nil {
 			return nil, err
 		}
-		name := fmt.Sprintf("reduce:%s:%06d", job, p)
-		if _, err := master.Submit(name, raw, 1); err != nil {
-			return nil, fmt.Errorf("collective: submitting %s: %w", name, err)
-		}
-		submitted++
+		reduceSpecs = append(reduceSpecs, mw.TaskSpec{
+			Name: fmt.Sprintf("reduce:%s:%06d", job, p), Input: raw, Replica: 1,
+		})
 	}
-	reduceResults, err := master.Collect(submitted, rounds)
+	if _, err := master.SubmitAll(reduceSpecs); err != nil {
+		return nil, fmt.Errorf("collective: submitting reduce tasks: %w", err)
+	}
+	reduceResults, err := master.Collect(len(reduceSpecs), rounds)
 	if err != nil {
 		return nil, fmt.Errorf("collective: reduce phase: %w", err)
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"bitdew/internal/attr"
 	"bitdew/internal/data"
+	"bitdew/internal/rpc"
 )
 
 // Event is one data life-cycle occurrence delivered to callbacks.
@@ -52,6 +54,27 @@ func (a *ActiveData) CreateAttribute(spec string) (attr.Attribute, error) {
 // Scheduler to place it according to Algorithm 1.
 func (a *ActiveData) Schedule(d data.Data, at attr.Attribute) error {
 	return a.comms.DS.Schedule(d, at)
+}
+
+// ScheduleAll schedules many data in one round trip: the N Schedule calls
+// travel in a single rpc batch frame. as must either match ds in length or
+// hold a single attribute applied to every datum.
+func (a *ActiveData) ScheduleAll(ds []data.Data, as []attr.Attribute) error {
+	if len(as) != len(ds) && len(as) != 1 {
+		return fmt.Errorf("core: scheduleAll: %d data but %d attributes", len(ds), len(as))
+	}
+	calls := make([]*rpc.Call, len(ds))
+	for i, d := range ds {
+		at := as[0]
+		if len(as) == len(ds) {
+			at = as[i]
+		}
+		calls[i] = a.comms.DS.ScheduleCall(d, at)
+	}
+	if err := a.comms.CallBatch(calls); err != nil {
+		return err
+	}
+	return rpc.FirstError(calls)
 }
 
 // Pin schedules the datum and declares it owned by this node: the

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"bitdew/internal/data"
 	"bitdew/internal/repository"
+	"bitdew/internal/rpc"
 	"bitdew/internal/transfer"
 )
 
@@ -31,13 +34,30 @@ func NewBitDew(comms *Comms, backend repository.Backend, engine *transfer.Engine
 	return &BitDew{comms: comms, backend: backend, engine: engine, host: host}
 }
 
-// CreateData creates an empty slot in the data space.
+// CreateData creates an empty slot in the data space. It is the single-slot
+// wrapper over CreateDataBatch.
 func (b *BitDew) CreateData(name string) (*data.Data, error) {
-	d := data.New(name)
-	if err := b.comms.DC.Register(*d); err != nil {
-		return nil, fmt.Errorf("bitdew: createData %s: %w", name, err)
+	ds, err := b.CreateDataBatch([]string{name})
+	if err != nil {
+		return nil, err
 	}
-	return d, nil
+	return ds[0], nil
+}
+
+// CreateDataBatch creates one empty slot per name in a single catalog round
+// trip. It is the batch-first entry point for masters creating many slots
+// (one RegisterBatch call instead of N Registers).
+func (b *BitDew) CreateDataBatch(names []string) ([]*data.Data, error) {
+	ds := make([]*data.Data, len(names))
+	regs := make([]data.Data, len(names))
+	for i, name := range names {
+		ds[i] = data.New(name)
+		regs[i] = *ds[i]
+	}
+	if err := b.comms.DC.RegisterBatch(regs); err != nil {
+		return nil, fmt.Errorf("bitdew: createData batch of %d: %w", len(names), err)
+	}
+	return ds, nil
 }
 
 // CreateDataFromBytes creates a slot whose meta-information (size, MD5) is
@@ -75,24 +95,79 @@ func (b *BitDew) CreateDataFromFile(path string) (*data.Data, error) {
 // Put copies content into the datum's slot: local storage, upload to the
 // Data Repository, and catalog registration of meta-information and
 // locator. It blocks until the permanent copy is safe, mirroring
-// bitdew.put(data, file).
+// bitdew.put(data, file). It is the single-datum wrapper over PutAll;
+// prefer PutAll when several data move together — it collapses the 4
+// sequential service round trips per datum into 2 for the whole batch.
 func (b *BitDew) Put(d *data.Data, content []byte) error {
-	*d = *d.WithContent(content)
-	if err := b.backend.Put(string(d.UID), content); err != nil {
-		return err
+	return b.PutAll([]*data.Data{d}, [][]byte{content})
+}
+
+// PutAll is the batch-first Put: it registers all N data and obtains their
+// repository locators in ONE multi-call round trip (RegisterBatch +
+// LocatorBatch share a frame), uploads the contents concurrently through
+// the transfer engine, and publishes all locators in one AddLocatorBatch
+// call — 2 round trips and N out-of-band uploads, versus 4·N round trips
+// for sequential Puts. Each datum's meta-information is updated in place.
+func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
+	if len(ds) != len(contents) {
+		return fmt.Errorf("bitdew: putAll: %d data but %d contents", len(ds), len(contents))
 	}
-	if err := b.comms.DC.Register(*d); err != nil {
-		return fmt.Errorf("bitdew: put %s: register: %w", d.Name, err)
+	if len(ds) == 0 {
+		return nil
 	}
-	loc, err := b.comms.DR.Locator(d.UID, UploadProtocol)
-	if err != nil {
-		return fmt.Errorf("bitdew: put %s: locator: %w", d.Name, err)
+	regs := make([]data.Data, len(ds))
+	uids := make([]data.UID, len(ds))
+	for i, d := range ds {
+		*d = *d.WithContent(contents[i])
+		if err := b.backend.Put(string(d.UID), contents[i]); err != nil {
+			return err
+		}
+		regs[i] = *d
+		uids[i] = d.UID
 	}
-	if err := b.engine.Upload(*d, loc).Wait(); err != nil {
-		return fmt.Errorf("bitdew: put %s: upload: %w", d.Name, err)
+
+	// Round trip 1: register meta-information and ask for upload locators,
+	// batched across the dc and dr services in one frame.
+	var locs []data.Locator
+	calls := []*rpc.Call{
+		b.comms.DC.RegisterBatchCall(regs),
+		b.comms.DR.LocatorBatchCall(uids, UploadProtocol, &locs),
 	}
-	if err := b.comms.DC.AddLocator(loc); err != nil {
-		return fmt.Errorf("bitdew: put %s: publish locator: %w", d.Name, err)
+	if err := b.comms.CallBatch(calls); err != nil {
+		return fmt.Errorf("bitdew: putAll: %w", err)
+	}
+	if err := calls[0].Err; err != nil {
+		return fmt.Errorf("bitdew: putAll: register: %w", err)
+	}
+	if err := calls[1].Err; err != nil {
+		return fmt.Errorf("bitdew: putAll: locators: %w", err)
+	}
+	if len(locs) != len(ds) {
+		return fmt.Errorf("bitdew: putAll: repository issued %d locators for %d data", len(locs), len(ds))
+	}
+	for i, loc := range locs {
+		if loc == (data.Locator{}) {
+			return fmt.Errorf("bitdew: put %s: locator: protocol %q not served", ds[i].Name, UploadProtocol)
+		}
+	}
+
+	// Uploads go out-of-band, concurrently, bounded by the engine; their DT
+	// registrations share one batch frame (UploadAll) and their completion
+	// reports coalesce on the DT client.
+	handles := b.engine.UploadAll(regs, locs)
+	var errs []error
+	for i, h := range handles {
+		if err := h.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("bitdew: put %s: upload: %w", ds[i].Name, err))
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	// Round trip 2: publish every locator at once.
+	if err := b.comms.DC.AddLocatorBatch(locs); err != nil {
+		return fmt.Errorf("bitdew: putAll: publish locators: %w", err)
 	}
 	return nil
 }
@@ -130,21 +205,81 @@ func (b *BitDew) GetBytes(d data.Data) ([]byte, error) {
 }
 
 // Fetch downloads d into local storage, trying each candidate locator
-// until one succeeds.
+// until one succeeds. It is the single-datum wrapper over FetchAll.
 func (b *BitDew) Fetch(d data.Data, protocol string) error {
-	locs, err := b.locatorsFor(d, protocol)
-	if err != nil {
-		return err
-	}
-	var lastErr error
-	for _, loc := range locs {
-		if err := b.engine.Download(d, loc).Wait(); err != nil {
-			lastErr = err
-			continue
-		}
+	return b.FetchAll([]data.Data{d}, protocol)
+}
+
+// FetchAll downloads many data into local storage in one locator round
+// trip: the catalog's locator lists and the repository's fallback locators
+// for ALL data are gathered in a single multi-call frame, then the
+// downloads run concurrently through the engine, each datum falling back
+// through its candidate locators exactly as a sequential Fetch would.
+func (b *BitDew) FetchAll(ds []data.Data, protocol string) error {
+	if len(ds) == 0 {
 		return nil
 	}
-	return fmt.Errorf("bitdew: fetching %s: all %d locators failed: %w", d.Name, len(locs), lastErr)
+	uids := make([]data.UID, len(ds))
+	for i, d := range ds {
+		uids[i] = d.UID
+	}
+
+	// One frame: catalog locator lists + repository fallbacks for all data.
+	var catLocs [][]data.Locator
+	var repLocs []data.Locator
+	calls := []*rpc.Call{
+		b.comms.DC.LocatorsBatchCall(uids, &catLocs),
+		b.comms.DR.LocatorAnyBatchCall(uids, protocol, &repLocs),
+	}
+	if err := b.comms.CallBatch(calls); err != nil {
+		return fmt.Errorf("bitdew: fetchAll: %w", err)
+	}
+	// Either source may fail independently (a stale catalog, a repository
+	// with no endpoints); a datum only errors when it ends up with no
+	// candidate at all, matching the sequential path's best-effort merge.
+	candidates := func(i int) []data.Locator {
+		var out []data.Locator
+		seen := map[data.Locator]bool{}
+		if calls[0].Err == nil && i < len(catLocs) {
+			for _, l := range catLocs[i] {
+				if protocol == "" || l.Protocol == protocol {
+					out = append(out, l)
+					seen[l] = true
+				}
+			}
+		}
+		if calls[1].Err == nil && i < len(repLocs) {
+			if l := repLocs[i]; l != (data.Locator{}) && !seen[l] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
+		locs := candidates(i)
+		if len(locs) == 0 {
+			errs[i] = fmt.Errorf("bitdew: no locator for %s", d.Name)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, d data.Data, locs []data.Locator) {
+			defer wg.Done()
+			var lastErr error
+			for _, loc := range locs {
+				if err := b.engine.Download(d, loc).Wait(); err != nil {
+					lastErr = err
+					continue
+				}
+				return
+			}
+			errs[i] = fmt.Errorf("bitdew: fetching %s: all %d locators failed: %w", d.Name, len(locs), lastErr)
+		}(i, d, locs)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // GetFile is a blocking Get writing the content to a local file.
@@ -214,13 +349,19 @@ func (b *BitDew) SearchDataFirst(name string) (data.Data, error) {
 
 // DeleteData removes the datum everywhere the node can reach: catalog
 // (with locators), scheduler, repository and local cache. Data holding a
-// relative lifetime on it will expire at their owners' next sync.
+// relative lifetime on it will expire at their owners' next sync. The
+// catalog delete goes first and gates the rest — if it fails, the datum
+// stays fully intact for a retry rather than lingering in the catalog with
+// its content gone. The two best-effort deletions (scheduler, repository)
+// then share one multi-call round trip.
 func (b *BitDew) DeleteData(d data.Data) error {
 	if err := b.comms.DC.Delete(d.UID); err != nil {
 		return err
 	}
-	b.comms.DS.Unschedule(d.UID) // best-effort: may not be scheduled
-	b.comms.DR.Delete(d.UID)
+	b.comms.CallBatch([]*rpc.Call{
+		b.comms.DS.UnscheduleCall(d.UID), // best-effort: may not be scheduled
+		b.comms.DR.DeleteCall(d.UID),     // best-effort: may hold no content
+	})
 	return b.backend.Delete(string(d.UID))
 }
 

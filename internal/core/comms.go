@@ -28,6 +28,14 @@ import (
 // analogue of the paper's ComWorld.getMultipleComms(host, "RMI", port,
 // "dc", "dr", "dt", "ds"). In a distributed setup each service may live on
 // a different host; instantiate Comms per pool as the paper recommends.
+//
+// The request path is batch-first: all four clients share one pipelined
+// connection, and CallBatch ships several logical calls — to the same
+// service or across services — in a single round trip. The batch APIs
+// (BitDew.PutAll / CreateDataBatch / FetchAll, ActiveData.ScheduleAll, the
+// Node's delta heartbeat) are built on it; the single-datum APIs are thin
+// wrappers over the same path, so prefer the batch forms whenever N > 1
+// data move together.
 type Comms struct {
 	DC *catalog.Client
 	DR *repository.Client
@@ -64,12 +72,35 @@ func ConnectLocal(m *rpc.Mux) *Comms {
 
 func commsFrom(c rpc.Client) *Comms {
 	return &Comms{
-		DC:         catalog.NewClient(c),
-		DR:         repository.NewClient(c),
-		DT:         transfer.NewClient(c),
+		DC: catalog.NewClient(c),
+		DR: repository.NewClient(c),
+		// The DT control plane is called concurrently by every in-flight
+		// transfer; a coalescer merges those reports into shared batch
+		// frames. The other services stay on the bare (still pipelined)
+		// client: their calls are latency-sensitive and sequential.
+		DT:         transfer.NewClient(rpc.NewCoalescer(c)),
 		DS:         scheduler.NewClient(c),
 		underlying: []rpc.Client{c},
 	}
+}
+
+// CallBatch ships several logical calls — typed-client Call builders such
+// as scheduler.Client.ScheduleCall or catalog.Client.DeleteCall — over the
+// shared connection in one round trip, preserving per-call errors.
+func (c *Comms) CallBatch(calls []*rpc.Call) error {
+	return rpc.CallBatch(c.underlying[0], calls)
+}
+
+// RoundTrips sums the request frames sent over the underlying connections
+// (batched calls count one frame regardless of size).
+func (c *Comms) RoundTrips() uint64 {
+	var total uint64
+	for _, u := range c.underlying {
+		if n, ok := rpc.RoundTrips(u); ok {
+			total += n
+		}
+	}
+	return total
 }
 
 // Close releases every underlying connection.

@@ -60,6 +60,20 @@ type Node struct {
 	inflight   map[data.UID]bool
 	lastErr    error
 	clientOnly bool
+	// syncMu serializes heartbeat rounds: the delta protocol is stateful
+	// (reported + syncEpoch must match the scheduler's session), so the
+	// periodic loop and manual SyncOnce/SyncWait callers must not
+	// interleave their reports. It is held only across the report, never
+	// across the drop/fetch apply phase or its callbacks.
+	syncMu sync.Mutex
+	// Delta-heartbeat state, guarded by syncMu (not mu): the cache set
+	// acknowledged by the scheduler at syncEpoch. Each heartbeat ships
+	// only the difference between the current set and `reported`, falling
+	// back to a full report when the scheduler demands a resync (restart,
+	// lost ack).
+	reported  map[data.UID]bool
+	syncEpoch uint64
+	hasEpoch  bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -174,32 +188,24 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// SyncOnce performs one pull-model synchronization: report the cache, then
-// apply the scheduler's answer. Downloads are started asynchronously so
-// heartbeats continue during long transfers; SyncWait additionally blocks
-// until they land.
+// SyncOnce performs one pull-model synchronization as a delta heartbeat:
+// report the adds and removes to the cache since the last acknowledged
+// epoch (Δ of Δk, not the full set), then apply the scheduler's answer. A
+// host with a quiescent 10k-datum cache therefore heartbeats with an empty
+// payload instead of reshipping 10k UIDs every period. When the scheduler
+// cannot apply the delta (restart, epoch mismatch) it answers Resync and
+// the node repeats the heartbeat as a full report. Downloads are started
+// asynchronously so heartbeats continue during long transfers; SyncWait
+// additionally blocks until they land.
 func (n *Node) SyncOnce() error {
-	// The reported cache is the dataset this host manages: completed
-	// copies plus in-flight downloads. Reporting in-flight data keeps the
-	// scheduler's ownership heartbeats alive during transfers longer than
-	// the failure-detection timeout.
-	n.mu.Lock()
-	cacheUIDs := make([]data.UID, 0, len(n.cache)+len(n.inflight))
-	for uid := range n.cache {
-		cacheUIDs = append(cacheUIDs, uid)
-	}
-	for uid := range n.inflight {
-		if _, dup := n.cache[uid]; !dup {
-			cacheUIDs = append(cacheUIDs, uid)
-		}
-	}
-	clientOnly := n.clientOnly
-	n.mu.Unlock()
-
-	res, err := n.comms.DS.SyncAs(n.Host, cacheUIDs, clientOnly)
+	res, err := n.heartbeat()
 	if err != nil {
-		return fmt.Errorf("core: sync %s: %w", n.Host, err)
+		return err
 	}
+
+	// Apply the answer outside syncMu, as the lock-free pre-delta code
+	// did: life-cycle callbacks fired below may themselves drive the node
+	// (a handler calling SyncWait must not self-deadlock).
 
 	// Drop Δk \ Ψk: delete local copies and fire delete events.
 	for _, uid := range res.Drop {
@@ -218,6 +224,76 @@ func (n *Node) SyncOnce() error {
 		n.startFetch(as)
 	}
 	return nil
+}
+
+// heartbeat runs the report half of one synchronization under syncMu: build
+// the delta, call the scheduler (with the full-report fallback), and commit
+// the acknowledged state.
+func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+
+	// The reported cache is the dataset this host manages: completed
+	// copies plus in-flight downloads. Reporting in-flight data keeps the
+	// scheduler's ownership heartbeats alive during transfers longer than
+	// the failure-detection timeout.
+	n.mu.Lock()
+	current := make(map[data.UID]bool, len(n.cache)+len(n.inflight))
+	for uid := range n.cache {
+		current[uid] = true
+	}
+	for uid := range n.inflight {
+		current[uid] = true
+	}
+	args := scheduler.SyncDeltaArgs{
+		Host:       n.Host,
+		Epoch:      n.syncEpoch,
+		Full:       !n.hasEpoch,
+		ClientOnly: n.clientOnly,
+	}
+	if args.Full {
+		for uid := range current {
+			args.Added = append(args.Added, uid)
+		}
+	} else {
+		for uid := range current {
+			if !n.reported[uid] {
+				args.Added = append(args.Added, uid)
+			}
+		}
+		for uid := range n.reported {
+			if !current[uid] {
+				args.Removed = append(args.Removed, uid)
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	res, err := n.comms.DS.SyncDelta(args)
+	if err != nil {
+		return res, fmt.Errorf("core: sync %s: %w", n.Host, err)
+	}
+	if res.Resync {
+		// The scheduler lost (or never had) our session: repeat as a full
+		// report of the same snapshot.
+		args.Full = true
+		args.Epoch = 0
+		args.Added = args.Added[:0]
+		for uid := range current {
+			args.Added = append(args.Added, uid)
+		}
+		args.Removed = nil
+		if res, err = n.comms.DS.SyncDelta(args); err != nil {
+			return res, fmt.Errorf("core: sync %s: %w", n.Host, err)
+		}
+		if res.Resync {
+			return res, fmt.Errorf("core: sync %s: scheduler refused full resync", n.Host)
+		}
+	}
+	n.reported = current
+	n.syncEpoch = res.Epoch
+	n.hasEpoch = true
+	return res, nil
 }
 
 // startFetch begins downloading one assignment unless already in flight.

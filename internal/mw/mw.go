@@ -127,31 +127,72 @@ func (m *Master) Share(name string, content []byte, attrSpec string) (data.Data,
 	return *d, nil
 }
 
+// TaskSpec describes one task for SubmitAll.
+type TaskSpec struct {
+	// Name identifies the task (namespaced under TaskPrefix).
+	Name string
+	// Input is the task datum's content.
+	Input []byte
+	// Replica is the number of workers the task is distributed to
+	// (clamped to ≥ 1).
+	Replica int
+}
+
 // Submit schedules one task: input content distributed to `replica`
 // workers with fault tolerance on, so a crashed worker's task re-runs
-// elsewhere (paper §5's Sequence attribute).
+// elsewhere (paper §5's Sequence attribute). It is the single-task wrapper
+// over SubmitAll; a master with a task list should submit it in one batch.
 func (m *Master) Submit(name string, input []byte, replica int) (data.Data, error) {
-	if replica < 1 {
-		replica = 1
-	}
-	d, err := m.node.BitDew.CreateData(TaskPrefix + name)
+	ds, err := m.SubmitAll([]TaskSpec{{Name: name, Input: input, Replica: replica}})
 	if err != nil {
 		return data.Data{}, err
 	}
-	if err := m.node.BitDew.Put(d, input); err != nil {
-		return data.Data{}, err
+	return ds[0], nil
+}
+
+// SubmitAll submits N tasks through the batch-first request path: one
+// catalog round trip creates every slot, one PutAll moves all inputs to the
+// repository (2 more round trips plus the out-of-band uploads), and one
+// batched frame schedules them — instead of 5·N sequential service calls.
+// This is what keeps a master submitting 10k tasks from dying of per-datum
+// round trips (the paper's §4 fine-grain-access bottleneck).
+func (m *Master) SubmitAll(specs []TaskSpec) ([]data.Data, error) {
+	if len(specs) == 0 {
+		return nil, nil
 	}
-	a := attr.Attribute{
-		Name: attrTask, Replica: replica, FaultTolerant: true,
-		Protocol: "http", LifetimeRel: string(m.collector.UID),
+	names := make([]string, len(specs))
+	inputs := make([][]byte, len(specs))
+	attrs := make([]attr.Attribute, len(specs))
+	for i, s := range specs {
+		names[i] = TaskPrefix + s.Name
+		inputs[i] = s.Input
+		replica := s.Replica
+		if replica < 1 {
+			replica = 1
+		}
+		attrs[i] = attr.Attribute{
+			Name: attrTask, Replica: replica, FaultTolerant: true,
+			Protocol: "http", LifetimeRel: string(m.collector.UID),
+		}
 	}
-	if err := m.node.ActiveData.Schedule(*d, a); err != nil {
-		return data.Data{}, err
+	ds, err := m.node.BitDew.CreateDataBatch(names)
+	if err != nil {
+		return nil, fmt.Errorf("mw: submit batch of %d: %w", len(specs), err)
+	}
+	if err := m.node.BitDew.PutAll(ds, inputs); err != nil {
+		return nil, fmt.Errorf("mw: submit batch of %d: %w", len(specs), err)
+	}
+	out := make([]data.Data, len(ds))
+	for i, d := range ds {
+		out[i] = *d
+	}
+	if err := m.node.ActiveData.ScheduleAll(out, attrs); err != nil {
+		return nil, fmt.Errorf("mw: submit batch of %d: %w", len(specs), err)
 	}
 	m.mu.Lock()
-	m.submitted++
+	m.submitted += len(specs)
 	m.mu.Unlock()
-	return *d, nil
+	return out, nil
 }
 
 // Results returns the channel of de-duplicated task results.

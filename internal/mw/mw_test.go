@@ -201,11 +201,15 @@ func TestFaultTolerantTaskReassigned(t *testing.T) {
 		return []byte("recovered"), nil
 	})
 	var got []Result
-	drive(t, mnode, []*core.Node{w2}, 15, func() bool {
+	// The result rides an asynchronous upload + schedule pipeline on w2;
+	// pause between empty rounds so sleep-free heartbeats cannot outrun it
+	// (under -race the pipeline can lag the fast rounds by tens of ms).
+	drive(t, mnode, []*core.Node{w2}, 40, func() bool {
 		select {
 		case r := <-master.Results():
 			got = append(got, r)
 		default:
+			time.Sleep(5 * time.Millisecond)
 		}
 		return len(got) > 0
 	})

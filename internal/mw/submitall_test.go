@@ -1,0 +1,112 @@
+package mw
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bitdew/internal/core"
+)
+
+// TestSubmitAll runs a full master/worker computation whose task wave is
+// submitted in one batch, and checks every result comes back.
+func TestSubmitAll(t *testing.T) {
+	c := newContainer(t)
+	mnode := newNode(t, c, "master")
+	master, err := NewMaster(mnode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wnodes []*core.Node
+	const tasks = 9
+	specs := make([]TaskSpec, tasks)
+	for i := range specs {
+		specs[i] = TaskSpec{Name: fmt.Sprintf("t%02d", i), Input: []byte(fmt.Sprintf("in-%02d", i))}
+	}
+
+	for i := 0; i < 3; i++ {
+		wn := newNode(t, c, fmt.Sprintf("w%d", i))
+		wnodes = append(wnodes, wn)
+		NewWorker(wn, nil, func(task string, input []byte, shared map[string][]byte) ([]byte, error) {
+			return []byte(strings.ToUpper(string(input))), nil
+		})
+	}
+
+	ds, err := master.SubmitAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != tasks {
+		t.Fatalf("submitted %d data, want %d", len(ds), tasks)
+	}
+	for i, d := range ds {
+		if d.Name != TaskPrefix+specs[i].Name {
+			t.Errorf("datum %d named %q", i, d.Name)
+		}
+	}
+
+	var results []Result
+	drive(t, mnode, wnodes, 200, func() bool {
+		for {
+			select {
+			case r := <-master.Results():
+				results = append(results, r)
+				continue
+			default:
+			}
+			break
+		}
+		return len(results) >= tasks
+	})
+	if len(results) != tasks {
+		t.Fatalf("collected %d/%d results", len(results), tasks)
+	}
+	byTask := map[string]string{}
+	for _, r := range results {
+		byTask[r.Task] = string(r.Content)
+	}
+	for i := range specs {
+		want := strings.ToUpper(fmt.Sprintf("in-%02d", i))
+		if got := byTask[specs[i].Name]; got != want {
+			t.Errorf("task %s = %q, want %q", specs[i].Name, got, want)
+		}
+	}
+}
+
+func TestSubmitAllEmpty(t *testing.T) {
+	c := newContainer(t)
+	master, err := NewMaster(newNode(t, c, "master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := master.SubmitAll(nil)
+	if err != nil || ds != nil {
+		t.Fatalf("empty SubmitAll = %v, %v", ds, err)
+	}
+}
+
+// TestSubmitReplicaClamp: Submit (the single-task wrapper) still clamps
+// replica to 1 and registers the task under the prefix.
+func TestSubmitReplicaClamp(t *testing.T) {
+	c := newContainer(t)
+	master, err := NewMaster(newNode(t, c, "master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := master.Submit("solo", []byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != TaskPrefix+"solo" {
+		t.Errorf("name = %q", d.Name)
+	}
+	entries := c.DS.Entries()
+	if len(entries) != 2 { // collector + task
+		t.Fatalf("scheduled %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if e.Data.UID == d.UID && e.Attr.Replica != 1 {
+			t.Errorf("replica = %d, want clamped 1", e.Attr.Replica)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package repository
+
+import (
+	"strings"
+	"testing"
+
+	"bitdew/internal/data"
+	"bitdew/internal/rpc"
+)
+
+func TestLocatorBatch(t *testing.T) {
+	s := NewService(NewMemBackend())
+	s.RegisterEndpoint("http", "h:80")
+	s.RegisterEndpoint("ftp", "h:21")
+
+	uids := []data.UID{data.NewUID(), data.NewUID(), data.NewUID()}
+	locs, err := s.LocatorBatch(uids, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != len(uids) {
+		t.Fatalf("got %d locators, want %d (aligned)", len(locs), len(uids))
+	}
+	for i, l := range locs {
+		if l.DataUID != uids[i] || l.Protocol != "http" || l.Host != "h:80" || l.Ref != string(uids[i]) {
+			t.Errorf("locator %d = %+v", i, l)
+		}
+	}
+
+	// Empty protocol falls back to LocatorAny (first sorted protocol).
+	locs, err = s.LocatorBatch(uids[:1], "")
+	if err != nil || len(locs) != 1 || locs[0].Protocol != "ftp" {
+		t.Fatalf("LocatorAny batch = %+v, %v", locs, err)
+	}
+
+	// Unserved protocol yields zero locators, not a frame error.
+	locs, err = s.LocatorBatch(uids, "bittorrent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range locs {
+		if l != (data.Locator{}) {
+			t.Errorf("slot %d = %+v, want zero locator", i, l)
+		}
+	}
+}
+
+// TestLocatorBatchHookFailure: a hook error is a real fault (a seeder
+// failed to start, say) and must fail the batch naming the datum — only
+// the protocol-not-served case degrades to a zero slot.
+func TestLocatorBatchHookFailure(t *testing.T) {
+	s := NewService(NewMemBackend())
+	s.RegisterEndpoint("http", "h:80")
+	bad := data.NewUID()
+	s.SetLocatorHook(func(uid data.UID, protocol string) error {
+		if uid == bad {
+			return errAlways
+		}
+		return nil
+	})
+	good := data.NewUID()
+	_, err := s.LocatorBatch([]data.UID{good, bad}, "http")
+	if err == nil || !strings.Contains(err.Error(), string(bad)) {
+		t.Fatalf("err = %v, want hook failure naming %s", err, bad)
+	}
+}
+
+var errAlways = errBatch("seeder failed")
+
+type errBatch string
+
+func (e errBatch) Error() string { return string(e) }
+
+func TestLocatorBatchOverRPC(t *testing.T) {
+	s := NewService(NewMemBackend())
+	s.RegisterEndpoint("http", "h:80")
+	mux := rpc.NewMux()
+	s.Mount(mux)
+	c := NewClient(rpc.NewLocalClient(mux, 0))
+
+	uids := []data.UID{data.NewUID(), data.NewUID()}
+	locs, err := c.LocatorBatch(uids, "http")
+	if err != nil || len(locs) != 2 {
+		t.Fatalf("LocatorBatch = %+v, %v", locs, err)
+	}
+	if out, err := c.LocatorBatch(nil, "http"); err != nil || out != nil {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+}

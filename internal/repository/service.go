@@ -1,6 +1,7 @@
 package repository
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,11 @@ import (
 
 // ServiceName is the rpc service name of the Data Repository.
 const ServiceName = "dr"
+
+// ErrProtocolNotServed marks a locator request for a protocol this
+// repository has no endpoint for — the one locator failure batch callers
+// may treat as "skip this slot" rather than a real fault.
+var ErrProtocolNotServed = errors.New("repository: protocol not served")
 
 // Service is the Data Repository: persistent storage for permanent copies,
 // plus the mapping from transfer-protocol names to the endpoints serving
@@ -72,7 +78,7 @@ func (s *Service) Locator(uid data.UID, protocol string) (data.Locator, error) {
 	hook := s.locatorHook
 	s.mu.RUnlock()
 	if !ok {
-		return data.Locator{}, fmt.Errorf("repository: protocol %q not served (have %v)", protocol, s.Protocols())
+		return data.Locator{}, fmt.Errorf("%w: %q (have %v)", ErrProtocolNotServed, protocol, s.Protocols())
 	}
 	if hook != nil {
 		if err := hook(uid, protocol); err != nil {
@@ -92,9 +98,51 @@ func (s *Service) LocatorAny(uid data.UID, preferred string) (data.Locator, erro
 	}
 	protos := s.Protocols()
 	if len(protos) == 0 {
-		return data.Locator{}, fmt.Errorf("repository: no protocol endpoints registered")
+		return data.Locator{}, fmt.Errorf("%w: no protocol endpoints registered", ErrProtocolNotServed)
 	}
 	return s.Locator(uid, protos[0])
+}
+
+// LocatorBatch issues locators for many data in one call, aligned with
+// uids: each entry delegates to Locator (protocol set) or LocatorAny
+// (protocol empty). An unserved protocol yields a zero Locator at its slot
+// (callers fall back per datum, as with sequential calls); any other
+// per-datum failure — a locator hook erroring, say — is a real fault and
+// fails the batch with the datum named, exactly as its sequential call
+// would have surfaced it.
+func (s *Service) LocatorBatch(uids []data.UID, protocol string) ([]data.Locator, error) {
+	out := make([]data.Locator, len(uids))
+	for i, uid := range uids {
+		var l data.Locator
+		var err error
+		if protocol != "" {
+			l, err = s.Locator(uid, protocol)
+		} else {
+			l, err = s.LocatorAny(uid, "")
+		}
+		switch {
+		case err == nil:
+			out[i] = l
+		case errors.Is(err, ErrProtocolNotServed):
+			// leave the zero Locator
+		default:
+			return nil, fmt.Errorf("repository: locator of %s: %w", uid, err)
+		}
+	}
+	return out, nil
+}
+
+// LocatorAnyBatch is LocatorBatch with LocatorAny's fallback semantics:
+// each slot gets a locator over the preferred protocol when served,
+// otherwise over any served protocol, or the zero Locator when none.
+func (s *Service) LocatorAnyBatch(uids []data.UID, preferred string) ([]data.Locator, error) {
+	out := make([]data.Locator, len(uids))
+	for i, uid := range uids {
+		if l, err := s.LocatorAny(uid, preferred); err == nil {
+			out[i] = l
+		}
+	}
+	return out, nil
 }
 
 // Has reports whether the repository stores content for uid.
@@ -114,6 +162,12 @@ func (s *Service) Mount(m *rpc.Mux) {
 	})
 	rpc.Register(m, ServiceName, "LocatorAny", func(a locatorArgs) (data.Locator, error) {
 		return s.LocatorAny(a.UID, a.Protocol)
+	})
+	rpc.Register(m, ServiceName, "LocatorBatch", func(a locatorBatchArgs) ([]data.Locator, error) {
+		return s.LocatorBatch(a.UIDs, a.Protocol)
+	})
+	rpc.Register(m, ServiceName, "LocatorAnyBatch", func(a locatorBatchArgs) ([]data.Locator, error) {
+		return s.LocatorAnyBatch(a.UIDs, a.Protocol)
 	})
 	rpc.Register(m, ServiceName, "Protocols", func(struct{}) ([]string, error) {
 		return s.Protocols(), nil
@@ -152,6 +206,52 @@ func (c *Client) LocatorAny(uid data.UID, preferred string) (data.Locator, error
 	var l data.Locator
 	err := c.c.Call(ServiceName, "LocatorAny", locatorArgs{UID: uid, Protocol: preferred}, &l)
 	return l, err
+}
+
+// locatorBatchArgs is the wire argument of the batch locator endpoints,
+// shared by the Mount handlers and the client methods.
+type locatorBatchArgs struct {
+	UIDs     []data.UID
+	Protocol string
+}
+
+// LocatorBatch asks for locators of many data in one round trip, aligned
+// with uids; unservable data come back as zero Locators.
+func (c *Client) LocatorBatch(uids []data.UID, protocol string) ([]data.Locator, error) {
+	if len(uids) == 0 {
+		return nil, nil
+	}
+	var out []data.Locator
+	err := c.c.Call(ServiceName, "LocatorBatch", locatorBatchArgs{uids, protocol}, &out)
+	return out, err
+}
+
+// LocatorBatchCall builds the batchable form of LocatorBatch for a
+// cross-service rpc.CallBatch frame, decoding into reply.
+func (c *Client) LocatorBatchCall(uids []data.UID, protocol string, reply *[]data.Locator) *rpc.Call {
+	return rpc.NewCall(ServiceName, "LocatorBatch", locatorBatchArgs{uids, protocol}, reply)
+}
+
+// LocatorAnyBatchCall builds the batchable form of LocatorAnyBatch.
+func (c *Client) LocatorAnyBatchCall(uids []data.UID, preferred string, reply *[]data.Locator) *rpc.Call {
+	return rpc.NewCall(ServiceName, "LocatorAnyBatch", locatorBatchArgs{uids, preferred}, reply)
+}
+
+// LocatorAnyBatch asks for locators with per-datum protocol fallback, in
+// one round trip.
+func (c *Client) LocatorAnyBatch(uids []data.UID, preferred string) ([]data.Locator, error) {
+	if len(uids) == 0 {
+		return nil, nil
+	}
+	var out []data.Locator
+	err := c.c.Call(ServiceName, "LocatorAnyBatch", locatorBatchArgs{uids, preferred}, &out)
+	return out, err
+}
+
+// DeleteCall builds a batchable delete for a cross-service rpc.CallBatch
+// frame.
+func (c *Client) DeleteCall(uid data.UID) *rpc.Call {
+	return rpc.NewCall(ServiceName, "Delete", uid, nil)
 }
 
 // Protocols lists the DR's served protocols.

@@ -1,0 +1,154 @@
+package rpc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testBatch exercises the multi-call frame against any client: replies land
+// in order, per-call errors are preserved, nil replies discard.
+func testBatch(t *testing.T, c Client) {
+	t.Helper()
+	var r1, r2 echoReply
+	calls := []*Call{
+		NewCall("echo", "Echo", echoArgs{S: "a", N: 1}, &r1),
+		NewCall("echo", "Fail", echoArgs{S: "mid"}, nil),
+		NewCall("echo", "Echo", echoArgs{S: "b", N: 10}, &r2),
+		NewCall("echo", "Nope", echoArgs{}, nil),
+		NewCall("echo", "Echo", echoArgs{S: "discard"}, nil),
+	}
+	if err := CallBatch(c, calls); err != nil {
+		t.Fatalf("CallBatch: %v", err)
+	}
+	if calls[0].Err != nil || r1.S != "a" || r1.N != 2 {
+		t.Errorf("call 0: err=%v reply=%+v", calls[0].Err, r1)
+	}
+	if calls[1].Err == nil || !strings.Contains(calls[1].Err.Error(), "boom: mid") {
+		t.Errorf("call 1 err = %v, want boom", calls[1].Err)
+	}
+	if calls[2].Err != nil || r2.S != "b" || r2.N != 11 {
+		t.Errorf("call 2: err=%v reply=%+v", calls[2].Err, r2)
+	}
+	if calls[3].Err == nil || !strings.Contains(calls[3].Err.Error(), "no such service or method") {
+		t.Errorf("call 3 err = %v, want no-such-method", calls[3].Err)
+	}
+	if calls[4].Err != nil {
+		t.Errorf("call 4 err = %v", calls[4].Err)
+	}
+	if err := FirstError(calls); err == nil {
+		t.Error("FirstError = nil, want the Fail call's error")
+	}
+}
+
+func TestBatchLocal(t *testing.T) {
+	c := NewLocalClient(newEchoMux(), 0)
+	defer c.Close()
+	testBatch(t, c)
+}
+
+func TestBatchTCP(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", newEchoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	testBatch(t, c)
+}
+
+func TestBatchEmpty(t *testing.T) {
+	c := NewLocalClient(newEchoMux(), 0)
+	defer c.Close()
+	if err := CallBatch(c, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if n, ok := RoundTrips(c); !ok || n != 0 {
+		t.Errorf("empty batch cost %d round trips", n)
+	}
+}
+
+// TestBatchOneRoundTrip is the point of the frame: N calls, one frame, one
+// latency charge on each side.
+func TestBatchOneRoundTrip(t *testing.T) {
+	const oneWay = 20 * time.Millisecond
+	srv, err := Listen("127.0.0.1:0", newEchoMux(), WithServerLatency(oneWay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), WithCallLatency(oneWay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 16
+	calls := make([]*Call, n)
+	replies := make([]echoReply, n)
+	for i := range calls {
+		calls[i] = NewCall("echo", "Echo", echoArgs{N: i}, &replies[i])
+	}
+	start := time.Now()
+	if err := CallBatch(c, calls); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, call := range calls {
+		if call.Err != nil || replies[i].N != i+1 {
+			t.Fatalf("call %d: err=%v reply=%+v", i, call.Err, replies[i])
+		}
+	}
+	if rt, _ := RoundTrips(c); rt != 1 {
+		t.Errorf("batch of %d used %d round trips, want 1", n, rt)
+	}
+	// Sequential calls would pay n*(client+server) latency; the batch pays
+	// it once. Allow generous scheduling slack.
+	if elapsed > 8*oneWay {
+		t.Errorf("batch took %v, want ~%v (one latency charge)", elapsed, 2*oneWay)
+	}
+}
+
+func TestRoundTripsCountsSingleCalls(t *testing.T) {
+	c := NewLocalClient(newEchoMux(), 0)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Call("echo", "Echo", echoArgs{N: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := RoundTrips(c); n != 3 {
+		t.Errorf("RoundTrips = %d, want 3", n)
+	}
+}
+
+// fallbackClient hides the built-in batch support, forcing the package
+// helper down its sequential path.
+type fallbackClient struct{ c Client }
+
+func (f fallbackClient) Call(service, method string, args, reply any) error {
+	return f.c.Call(service, method, args, reply)
+}
+func (f fallbackClient) Close() error { return f.c.Close() }
+
+func TestCallBatchFallback(t *testing.T) {
+	c := fallbackClient{NewLocalClient(newEchoMux(), 0)}
+	defer c.Close()
+	testBatch(t, c)
+}
+
+func TestBatchAfterClose(t *testing.T) {
+	c := NewLocalClient(newEchoMux(), 0)
+	c.Close()
+	calls := []*Call{NewCall("echo", "Echo", echoArgs{}, nil)}
+	if err := CallBatch(c, calls); err == nil {
+		t.Fatal("want frame error after Close")
+	}
+	if calls[0].Err == nil {
+		t.Error("per-call error not stamped on frame failure")
+	}
+}

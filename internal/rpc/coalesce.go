@@ -1,0 +1,142 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+)
+
+// Coalescer wraps a Client and merges calls issued concurrently by many
+// goroutines into shared batch frames: while one frame is on the wire,
+// newly arriving calls queue up and leave together in the next frame. Under
+// a concurrent control-plane load (a transfer engine reporting N parallel
+// transfers) this turns N round trips into a handful, with no change at the
+// call sites — each caller still blocks until its own reply arrives.
+//
+// Calls keep their per-call errors; a frame-level transport failure is
+// returned to every caller whose call rode that frame. Latency for an
+// isolated call is one goroutine handoff worse than a direct Call, so keep
+// latency-critical sequential paths on the bare client.
+type Coalescer struct {
+	c Client
+
+	mu       sync.Mutex
+	queue    []*coalesced
+	flushing bool
+	closed   bool
+}
+
+// coalesced is one enqueued group: the calls of one logical Call or
+// CallBatch, released together. err carries the frame-level transport
+// error of the frame the group rode, if any.
+type coalesced struct {
+	calls []*Call
+	err   error
+	done  chan struct{}
+}
+
+// NewCoalescer wraps c. The wrapped client should support BatchCaller for
+// the coalescing to pay off (both built-in clients do); otherwise the
+// merged frames fall back to sequential calls and nothing is gained or
+// lost.
+func NewCoalescer(c Client) *Coalescer {
+	return &Coalescer{c: c}
+}
+
+// enqueue ships a group of calls. Uncontended callers take the inline fast
+// path — their frame is sent synchronously, with no goroutine handoff, so
+// an isolated call costs exactly what it would on the bare client. Callers
+// arriving while a frame is on the wire queue up and ride the next frame
+// together.
+func (co *Coalescer) enqueue(calls []*Call) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		err := errors.New("rpc: client closed")
+		for _, call := range calls {
+			call.Err = err
+		}
+		return err
+	}
+	if !co.flushing {
+		// Fast path: nothing in flight, dispatch inline.
+		co.flushing = true
+		co.mu.Unlock()
+		err := CallBatch(co.c, calls)
+		co.mu.Lock()
+		if len(co.queue) > 0 {
+			// Calls piled up behind us: hand the drain to a flusher so we
+			// return without doing their work.
+			go co.flushLoop()
+		} else {
+			co.flushing = false
+		}
+		co.mu.Unlock()
+		return err
+	}
+	g := &coalesced{calls: calls, done: make(chan struct{})}
+	co.queue = append(co.queue, g)
+	co.mu.Unlock()
+	<-g.done
+	return g.err
+}
+
+// flushLoop drains the queue, one batch frame per iteration, exiting when a
+// drain finds nothing queued.
+func (co *Coalescer) flushLoop() {
+	for {
+		co.mu.Lock()
+		groups := co.queue
+		co.queue = nil
+		if len(groups) == 0 {
+			co.flushing = false
+			co.mu.Unlock()
+			return
+		}
+		co.mu.Unlock()
+
+		var calls []*Call
+		for _, g := range groups {
+			calls = append(calls, g.calls...)
+		}
+		// Per-call outcomes are stamped onto the calls; the frame-level
+		// error is additionally handed to every group that rode the frame.
+		err := CallBatch(co.c, calls)
+		for _, g := range groups {
+			g.err = err
+			close(g.done)
+		}
+	}
+}
+
+// Call enqueues one call and waits for the shared frame carrying it.
+func (co *Coalescer) Call(service, method string, args, reply any) error {
+	call := NewCall(service, method, args, reply)
+	if err := co.enqueue([]*Call{call}); err != nil {
+		return err
+	}
+	return call.Err
+}
+
+// CallBatch enqueues the calls as one group; they ride a single frame,
+// possibly shared with other callers' queued calls.
+func (co *Coalescer) CallBatch(calls []*Call) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	return co.enqueue(calls)
+}
+
+// RoundTrips reports the wrapped client's frame count.
+func (co *Coalescer) RoundTrips() uint64 {
+	n, _ := RoundTrips(co.c)
+	return n
+}
+
+// Close rejects further calls and closes the wrapped client. Queued calls
+// fail through the underlying transport.
+func (co *Coalescer) Close() error {
+	co.mu.Lock()
+	co.closed = true
+	co.mu.Unlock()
+	return co.c.Close()
+}

@@ -1,0 +1,75 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCoalescerBasics(t *testing.T) {
+	co := NewCoalescer(NewLocalClient(newEchoMux(), 0))
+	defer co.Close()
+	testClient(t, co)
+	testBatch(t, co)
+}
+
+// TestCoalescerMergesConcurrentCalls: many goroutines calling at once must
+// end up on far fewer frames than calls.
+func TestCoalescerMergesConcurrentCalls(t *testing.T) {
+	// A per-frame latency makes callers pile up while a frame is on the
+	// "wire", exactly the condition coalescing exploits.
+	base := NewLocalClient(newEchoMux(), 2*time.Millisecond)
+	co := NewCoalescer(base)
+	defer co.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	replies := make([]echoReply, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = co.Call("echo", "Echo", echoArgs{N: i}, &replies[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil || replies[i].N != i+1 {
+			t.Fatalf("call %d: err=%v reply=%+v", i, errs[i], replies[i])
+		}
+	}
+	frames := co.RoundTrips()
+	if frames == 0 || frames >= n {
+		t.Errorf("%d concurrent calls used %d frames, want coalescing (< %d)", n, frames, n)
+	}
+	t.Logf("%d calls coalesced onto %d frames", n, frames)
+}
+
+// TestCoalescerPropagatesFrameError: a transport-level failure of the
+// underlying client must surface as the batch's returned error (the
+// BatchCaller contract), not vanish into per-call errors only.
+func TestCoalescerPropagatesFrameError(t *testing.T) {
+	base := NewLocalClient(newEchoMux(), 0)
+	base.Close() // kill the transport underneath the coalescer
+	co := NewCoalescer(base)
+	calls := []*Call{NewCall("echo", "Echo", echoArgs{}, nil)}
+	if err := co.CallBatch(calls); err == nil {
+		t.Error("frame error swallowed by CallBatch")
+	}
+	if err := co.Call("echo", "Echo", echoArgs{}, nil); err == nil {
+		t.Error("frame error swallowed by Call")
+	}
+}
+
+func TestCoalescerClosed(t *testing.T) {
+	co := NewCoalescer(NewLocalClient(newEchoMux(), 0))
+	co.Close()
+	if err := co.Call("echo", "Echo", echoArgs{}, nil); err == nil {
+		t.Error("call after Close succeeded")
+	}
+	calls := []*Call{NewCall("echo", "Echo", echoArgs{}, nil)}
+	if err := co.CallBatch(calls); err == nil {
+		t.Error("batch after Close succeeded")
+	}
+}

@@ -102,7 +102,9 @@ func Register[A, R any](m *Mux, service, method string, fn func(A) (R, error)) {
 }
 
 // Client issues calls against a Mux, either in-process or across a network
-// transport.
+// transport. Both built-in clients also implement BatchCaller (N logical
+// calls in one round trip) and RoundTripCounter; use the package-level
+// CallBatch helper to stay portable across client implementations.
 type Client interface {
 	// Call invokes service.method with args, decoding the reply into reply
 	// (which must be a pointer, or nil to discard).
@@ -116,6 +118,7 @@ type Client interface {
 type localClient struct {
 	mux     *Mux
 	latency time.Duration
+	frames  frameCounter
 	closed  sync.Once
 	done    chan struct{}
 }
@@ -136,6 +139,7 @@ func (c *localClient) Call(service, method string, args, reply any) error {
 	if c.latency > 0 {
 		time.Sleep(c.latency)
 	}
+	c.frames.inc()
 	raw, err := encode(args)
 	if err != nil {
 		return fmt.Errorf("rpc: encoding args of %s.%s: %w", service, method, err)
@@ -149,6 +153,31 @@ func (c *localClient) Call(service, method string, args, reply any) error {
 	}
 	return decode(out, reply)
 }
+
+// CallBatch dispatches every call in one simulated round trip: the modelled
+// latency is charged once for the whole batch, matching the wire transport.
+func (c *localClient) CallBatch(calls []*Call) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return failCalls(calls, errors.New("rpc: client closed"))
+	default:
+	}
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	c.frames.inc()
+	items, err := encodeCalls(calls)
+	if err != nil {
+		return failCalls(calls, err)
+	}
+	return applyReplies(calls, c.mux.dispatchBatch(items))
+}
+
+// RoundTrips counts the (simulated) request frames issued by this client.
+func (c *localClient) RoundTrips() uint64 { return c.frames.RoundTrips() }
 
 func (c *localClient) Close() error {
 	c.closed.Do(func() { close(c.done) })

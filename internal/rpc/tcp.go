@@ -12,15 +12,33 @@ import (
 
 // request and response are the wire messages. Args and Reply are pre-encoded
 // gob payloads so the framing codec stays independent of call signatures.
+// A non-empty Batch makes the frame a multi-call: N logical calls sharing
+// one write/read cycle (and one latency charge on each side); Service,
+// Method and Args are then unused.
 type request struct {
 	Seq     uint64
 	Service string
 	Method  string
 	Args    []byte
+	Batch   []batchItem
 }
 
 type response struct {
 	Seq   uint64
+	Err   string
+	Reply []byte
+	Batch []batchReply
+}
+
+// batchItem is one logical call of a multi-call frame.
+type batchItem struct {
+	Service string
+	Method  string
+	Args    []byte
+}
+
+// batchReply is the per-call outcome of a multi-call frame.
+type batchReply struct {
 	Err   string
 	Reply []byte
 }
@@ -138,10 +156,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			if s.latency > 0 {
 				time.Sleep(s.latency)
 			}
-			reply, err := s.mux.dispatch(req.Service, req.Method, req.Args)
-			resp := response{Seq: req.Seq, Reply: reply}
-			if err != nil {
-				resp.Err = err.Error()
+			var resp response
+			if len(req.Batch) > 0 {
+				resp = response{Seq: req.Seq, Batch: s.mux.dispatchBatch(req.Batch)}
+			} else {
+				reply, err := s.mux.dispatch(req.Service, req.Method, req.Args)
+				resp = response{Seq: req.Seq, Reply: reply}
+				if err != nil {
+					resp.Err = err.Error()
+				}
 			}
 			wmu.Lock()
 			encErr := enc.Encode(resp)
@@ -159,6 +182,7 @@ type tcpClient struct {
 	conn    net.Conn
 	enc     *gob.Encoder
 	latency time.Duration
+	frames  frameCounter
 
 	wmu sync.Mutex // guards enc
 
@@ -227,42 +251,51 @@ func (c *tcpClient) failAll(err error) {
 	c.mu.Unlock()
 }
 
-func (c *tcpClient) Call(service, method string, args, reply any) error {
-	raw, err := encode(args)
-	if err != nil {
-		return fmt.Errorf("rpc: encoding args of %s.%s: %w", service, method, err)
-	}
+// roundTrip sends one request frame (filling in its Seq) and waits for the
+// matching response, charging the injected latency and the frame counter
+// exactly once — whether the frame carries one call or a whole batch.
+func (c *tcpClient) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return errors.New("rpc: client closed")
+		return response{}, errors.New("rpc: client closed")
 	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return err
+		return response{}, err
 	}
 	c.seq++
-	seq := c.seq
+	req.Seq = c.seq
 	ch := make(chan response, 1)
-	c.pending[seq] = ch
+	c.pending[req.Seq] = ch
 	c.mu.Unlock()
 
 	if c.latency > 0 {
 		time.Sleep(c.latency)
 	}
-	req := request{Seq: seq, Service: service, Method: method, Args: raw}
+	c.frames.inc()
 	c.wmu.Lock()
-	err = c.enc.Encode(req)
+	err := c.enc.Encode(req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, seq)
+		delete(c.pending, req.Seq)
 		c.mu.Unlock()
-		return fmt.Errorf("rpc: sending %s.%s: %w", service, method, err)
+		return response{}, fmt.Errorf("rpc: sending request: %w", err)
 	}
+	return <-ch, nil
+}
 
-	resp := <-ch
+func (c *tcpClient) Call(service, method string, args, reply any) error {
+	raw, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding args of %s.%s: %w", service, method, err)
+	}
+	resp, err := c.roundTrip(request{Service: service, Method: method, Args: raw})
+	if err != nil {
+		return fmt.Errorf("rpc: %s.%s: %w", service, method, err)
+	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}
@@ -271,6 +304,32 @@ func (c *tcpClient) Call(service, method string, args, reply any) error {
 	}
 	return decode(resp.Reply, reply)
 }
+
+// CallBatch ships every call in one request frame: one write/read cycle,
+// one latency charge on each side, per-call errors preserved.
+func (c *tcpClient) CallBatch(calls []*Call) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	items, err := encodeCalls(calls)
+	if err != nil {
+		return failCalls(calls, err)
+	}
+	resp, err := c.roundTrip(request{Batch: items})
+	if err != nil {
+		return failCalls(calls, err)
+	}
+	if resp.Err != "" {
+		return failCalls(calls, errors.New(resp.Err))
+	}
+	if err := applyReplies(calls, resp.Batch); err != nil {
+		return failCalls(calls, err)
+	}
+	return nil
+}
+
+// RoundTrips counts the request frames sent on this connection.
+func (c *tcpClient) RoundTrips() uint64 { return c.frames.RoundTrips() }
 
 func (c *tcpClient) Close() error {
 	c.mu.Lock()

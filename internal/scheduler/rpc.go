@@ -26,6 +26,20 @@ type syncArgs struct {
 	ClientOnly bool
 }
 
+// SyncDeltaArgs is the delta heartbeat's request: the adds and removes to
+// the host cache since Epoch, or (Full) a complete cache re-report.
+type SyncDeltaArgs struct {
+	Host string
+	// Epoch is the server epoch the deltas are relative to (ignored when
+	// Full is set).
+	Epoch uint64
+	// Full marks a (re)synchronizing report: Added carries the complete
+	// cache and Removed is empty.
+	Full           bool
+	Added, Removed []data.UID
+	ClientOnly     bool
+}
+
 // Mount registers the Data Scheduler methods on an rpc Mux under "ds".
 func (s *Service) Mount(m *rpc.Mux) {
 	rpc.Register(m, ServiceName, "Schedule", func(a scheduleArgs) (struct{}, error) {
@@ -39,6 +53,9 @@ func (s *Service) Mount(m *rpc.Mux) {
 	})
 	rpc.Register(m, ServiceName, "Sync", func(a syncArgs) (SyncResult, error) {
 		return s.SyncAs(a.Host, a.Cache, a.ClientOnly), nil
+	})
+	rpc.Register(m, ServiceName, "SyncDelta", func(a SyncDeltaArgs) (SyncDeltaResult, error) {
+		return s.SyncDelta(a.Host, a.Epoch, a.Full, a.Added, a.Removed, a.ClientOnly), nil
 	})
 	rpc.Register(m, ServiceName, "Owners", func(uid data.UID) ([]string, error) {
 		return s.Owners(uid), nil
@@ -81,6 +98,24 @@ func (c *Client) SyncAs(host string, cache []data.UID, clientOnly bool) (SyncRes
 	var r SyncResult
 	err := c.c.Call(ServiceName, "Sync", syncArgs{Host: host, Cache: cache, ClientOnly: clientOnly}, &r)
 	return r, err
+}
+
+// SyncDelta runs one delta heartbeat (see Service.SyncDelta).
+func (c *Client) SyncDelta(a SyncDeltaArgs) (SyncDeltaResult, error) {
+	var r SyncDeltaResult
+	err := c.c.Call(ServiceName, "SyncDelta", a, &r)
+	return r, err
+}
+
+// ScheduleCall builds a batchable Schedule for an rpc.CallBatch frame, so a
+// master submitting N tasks pays one round trip instead of N.
+func (c *Client) ScheduleCall(d data.Data, a attr.Attribute) *rpc.Call {
+	return rpc.NewCall(ServiceName, "Schedule", scheduleArgs{Data: d, Attr: a}, nil)
+}
+
+// UnscheduleCall builds a batchable Unschedule for an rpc.CallBatch frame.
+func (c *Client) UnscheduleCall(uid data.UID) *rpc.Call {
+	return rpc.NewCall(ServiceName, "Unschedule", uid, nil)
 }
 
 // Owners lists the hosts owning uid.

@@ -63,6 +63,26 @@ type SyncResult struct {
 	Fetch []Assignment
 }
 
+// SyncDeltaResult is the answer to a delta synchronization: the usual
+// Algorithm 1 partition plus the epoch protocol state.
+type SyncDeltaResult struct {
+	SyncResult
+	// Epoch identifies the server-side cache mirror after this sync; the
+	// host echoes it on its next delta so both sides agree on the base set.
+	Epoch uint64
+	// Resync, when true, means the server could not apply the delta (no
+	// session, or epoch mismatch after a scheduler restart): the result is
+	// empty and the host must repeat the sync with Full=true.
+	Resync bool
+}
+
+// hostSession mirrors one host's last reported cache so heartbeats can ship
+// Δ-sized deltas instead of the full set.
+type hostSession struct {
+	epoch uint64
+	cache map[data.UID]bool
+}
+
 // Service is the Data Scheduler. All methods are safe for concurrent use.
 type Service struct {
 	mu     sync.Mutex
@@ -75,6 +95,8 @@ type Service struct {
 	pinned map[data.UID]map[string]bool
 	// hosts tracks each host's last synchronization.
 	hosts map[string]time.Time
+	// sessions holds the per-host cache mirrors of the delta-sync protocol.
+	sessions map[string]*hostSession
 
 	// MaxDataSchedule caps new assignments per sync.
 	MaxDataSchedule int
@@ -92,6 +114,7 @@ func New() *Service {
 		owners:          make(map[data.UID]map[string]time.Time),
 		pinned:          make(map[data.UID]map[string]bool),
 		hosts:           make(map[string]time.Time),
+		sessions:        make(map[string]*hostSession),
 		MaxDataSchedule: DefaultMaxDataSchedule,
 		Timeout:         DefaultTimeout,
 		now:             time.Now,
@@ -265,6 +288,18 @@ func (s *Service) expireOwnersLocked() {
 			}
 		}
 	}
+	// Prune state of hosts gone quiet: delta-sync cache mirrors (and the
+	// last-seen timestamps themselves) would otherwise accumulate forever
+	// under churn. Hosts() only reports hosts seen within one Timeout, so
+	// dropping >3×Timeout entries is invisible to it; a pruned-but-alive
+	// host simply gets one Resync on its next heartbeat and re-establishes
+	// its session.
+	for host, seen := range s.hosts {
+		if now.Sub(seen) > 3*s.Timeout {
+			delete(s.sessions, host)
+			delete(s.hosts, host)
+		}
+	}
 }
 
 // Sync is Algorithm 1: the reservoir host k reports its cache Δk and
@@ -281,6 +316,53 @@ func (s *Service) Sync(host string, cache []data.UID) SyncResult {
 func (s *Service) SyncAs(host string, cache []data.UID, clientOnly bool) SyncResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A full report supersedes any delta session: drop it so a host mixing
+	// the two protocols gets a clean resync on its next delta.
+	delete(s.sessions, host)
+	return s.syncLocked(host, cache, clientOnly)
+}
+
+// SyncDelta is the delta heartbeat: instead of reshipping its full cache Δk
+// every period, the host sends only the adds and removes since the epoch it
+// last acknowledged, and the scheduler replays them onto its mirror of the
+// host's cache. Full=true (re)establishes the session with Added as the
+// complete cache; an epoch mismatch (scheduler restarted, missed ack)
+// returns Resync=true and the host falls back to a full report.
+func (s *Service) SyncDelta(host string, epoch uint64, full bool, added, removed []data.UID, clientOnly bool) SyncDeltaResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[host]
+	if full {
+		sess = &hostSession{cache: make(map[data.UID]bool, len(added))}
+		for _, uid := range added {
+			sess.cache[uid] = true
+		}
+		s.sessions[host] = sess
+	} else {
+		if sess == nil || epoch != sess.epoch {
+			return SyncDeltaResult{Resync: true}
+		}
+		for _, uid := range added {
+			sess.cache[uid] = true
+		}
+		for _, uid := range removed {
+			delete(sess.cache, uid)
+		}
+	}
+	sess.epoch++
+	cache := make([]data.UID, 0, len(sess.cache))
+	for uid := range sess.cache {
+		cache = append(cache, uid)
+	}
+	return SyncDeltaResult{
+		SyncResult: s.syncLocked(host, cache, clientOnly),
+		Epoch:      sess.epoch,
+	}
+}
+
+// syncLocked is the shared body of SyncAs and SyncDelta (Algorithm 1 against
+// an explicit cache set). Callers hold s.mu.
+func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) SyncResult {
 	s.hosts[host] = s.now()
 	s.expireOwnersLocked()
 

@@ -1,0 +1,85 @@
+package testbed
+
+import "testing"
+
+func TestGdX(t *testing.T) {
+	p := GdX()
+	if p.TotalNodes() != 312 {
+		t.Errorf("GdX nodes = %d, want 312", p.TotalNodes())
+	}
+	if len(p.Clusters) != 1 || p.Clusters[0].Name != "gdx" {
+		t.Errorf("GdX clusters = %+v", p.Clusters)
+	}
+	if p.Clusters[0].CPUFactor != 1.0 {
+		t.Errorf("GdX is the CPU reference, factor = %v", p.Clusters[0].CPUFactor)
+	}
+}
+
+func TestGrid5000(t *testing.T) {
+	p := Grid5000()
+	want := 312 + 120 + 47 + 65
+	if p.TotalNodes() != want {
+		t.Errorf("Grid5000 nodes = %d, want %d", p.TotalNodes(), want)
+	}
+	names := map[string]bool{}
+	for _, c := range p.Clusters {
+		names[c.Name] = true
+		if c.UpBps <= 0 || c.DownBps <= 0 || c.CPUFactor <= 0 || c.UnzipBps <= 0 {
+			t.Errorf("cluster %s has non-positive capacities: %+v", c.Name, c)
+		}
+	}
+	for _, n := range []string{"gdx", "grelon", "grillon", "sagittaire"} {
+		if !names[n] {
+			t.Errorf("Grid5000 missing cluster %s", n)
+		}
+	}
+}
+
+func TestDSLLab(t *testing.T) {
+	p := DSLLab()
+	if p.TotalNodes() != len(DSLLabBandwidths) {
+		t.Errorf("DSLLab nodes = %d, want %d", p.TotalNodes(), len(DSLLabBandwidths))
+	}
+	for i, c := range p.Clusters {
+		if c.Nodes != 1 {
+			t.Errorf("DSLLab cluster %d has %d nodes, want 1", i, c.Nodes)
+		}
+		// ADSL is asymmetric: downlink strictly faster than uplink.
+		if c.DownBps <= c.UpBps {
+			t.Errorf("DSLLab %s not asymmetric: down %v <= up %v", c.Name, c.DownBps, c.UpBps)
+		}
+		if c.DownBps != DSLLabBandwidths[i][0] || c.UpBps != DSLLabBandwidths[i][1] {
+			t.Errorf("DSLLab %s bandwidths %v/%v don't match table", c.Name, c.DownBps, c.UpBps)
+		}
+	}
+}
+
+func TestNodeSpec(t *testing.T) {
+	p := Grid5000()
+	// First node of the first cluster.
+	c, idx, err := p.NodeSpec(0)
+	if err != nil || c.Name != "gdx" || idx != 0 {
+		t.Errorf("NodeSpec(0) = %s[%d], %v", c.Name, idx, err)
+	}
+	// First node of the second cluster.
+	c, idx, err = p.NodeSpec(312)
+	if err != nil || c.Name != "grelon" || idx != 0 {
+		t.Errorf("NodeSpec(312) = %s[%d], %v", c.Name, idx, err)
+	}
+	// Last node overall.
+	last := p.TotalNodes() - 1
+	c, idx, err = p.NodeSpec(last)
+	if err != nil || c.Name != "sagittaire" || idx != 64 {
+		t.Errorf("NodeSpec(last) = %s[%d], %v", c.Name, idx, err)
+	}
+	// Out of range.
+	if _, _, err := p.NodeSpec(p.TotalNodes()); err == nil {
+		t.Error("NodeSpec past the end succeeded")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if MB != 1e6 || GB != 1e9 {
+		t.Errorf("units: MB=%v GB=%v", float64(MB), float64(GB))
+	}
+}

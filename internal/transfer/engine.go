@@ -117,20 +117,47 @@ func (h *Handle) finish(state State, err error) {
 // Download starts fetching d from loc into local storage and returns
 // immediately (the non-blocking interface of the TransferManager API).
 func (e *Engine) Download(d data.Data, loc data.Locator) *Handle {
-	return e.start(d, loc, "download")
+	return e.start(d, loc, "download", "", false)
 }
 
 // Upload starts pushing d's local content to loc.
 func (e *Engine) Upload(d data.Data, loc data.Locator) *Handle {
-	return e.start(d, loc, "upload")
+	return e.start(d, loc, "upload", "", false)
 }
 
-func (e *Engine) start(d data.Data, loc data.Locator, kind string) *Handle {
+// UploadAll starts one upload per (ds[i], locs[i]) pair, registering all N
+// transfers with the DT service in a single batch frame instead of one
+// Open round trip per transfer — the engine-side leg of the batch-first
+// request path. The transfers themselves then run concurrently under the
+// engine's usual concurrency cap.
+func (e *Engine) UploadAll(ds []data.Data, locs []data.Locator) []*Handle {
+	ids := make([]data.UID, len(ds))
+	if e.dt != nil {
+		reqs := make([]OpenRequest, len(ds))
+		for i, d := range ds {
+			reqs[i] = OpenRequest{DataUID: d.UID, Protocol: locs[i].Protocol, Host: e.host, Total: d.Size}
+		}
+		if opened, err := e.dt.OpenAll(reqs); err == nil {
+			ids = opened
+		}
+	}
+	handles := make([]*Handle, len(ds))
+	for i, d := range ds {
+		handles[i] = e.start(d, locs[i], "upload", ids[i], true)
+	}
+	return handles
+}
+
+// start launches one transfer goroutine. dtOpened marks that DT
+// registration was already attempted (the batched OpenAll); a zero dtID
+// then means the open failed and the transfer runs unreported rather than
+// re-opening against a service that just refused.
+func (e *Engine) start(d data.Data, loc data.Locator, kind string, dtID data.UID, dtOpened bool) *Handle {
 	h := &Handle{DataUID: d.UID, Kind: kind, state: StatePending, done: make(chan struct{})}
 	e.mu.Lock()
 	e.handles[d.UID] = append(e.handles[d.UID], h)
 	e.mu.Unlock()
-	go e.run(h, d, loc)
+	go e.run(h, d, loc, dtID, dtOpened)
 	return h
 }
 
@@ -162,12 +189,14 @@ func Barrier(handles ...*Handle) error {
 }
 
 // run executes one transfer with retry/resume, monitoring and verification.
-func (e *Engine) run(h *Handle, d data.Data, loc data.Locator) {
+// dtID is the pre-opened DT registration (UploadAll's batched open), or
+// empty to open one here — unless dtOpened says the batched attempt
+// already failed, in which case the transfer runs unreported.
+func (e *Engine) run(h *Handle, d data.Data, loc data.Locator, dtID data.UID, dtOpened bool) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
-	var dtID data.UID
-	if e.dt != nil {
+	if dtID == "" && !dtOpened && e.dt != nil {
 		id, err := e.dt.Open(d.UID, loc.Protocol, e.host, d.Size)
 		if err == nil {
 			dtID = id

@@ -206,15 +206,36 @@ func NewClient(c rpc.Client) *Client { return &Client{c: c} }
 
 // Open registers a transfer with the DT service.
 func (c *Client) Open(dataUID data.UID, protocol, host string, total int64) (data.UID, error) {
-	args := struct {
-		DataUID  data.UID
-		Protocol string
-		Host     string
-		Total    int64
-	}{dataUID, protocol, host, total}
 	var id data.UID
-	err := c.c.Call(ServiceName, "Open", args, &id)
+	err := c.c.Call(ServiceName, "Open", OpenRequest{dataUID, protocol, host, total}, &id)
 	return id, err
+}
+
+// OpenRequest describes one transfer to register; it doubles as Open's
+// wire argument (field names must match the handler-side struct in Mount).
+type OpenRequest struct {
+	DataUID  data.UID
+	Protocol string
+	Host     string
+	Total    int64
+}
+
+// OpenAll registers N transfers in one batch frame, returning their IDs
+// aligned with reqs. A per-call failure leaves a zero UID at its slot (the
+// transfer then simply runs unreported, like a nil DT client).
+func (c *Client) OpenAll(reqs []OpenRequest) ([]data.UID, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	ids := make([]data.UID, len(reqs))
+	calls := make([]*rpc.Call, len(reqs))
+	for i, r := range reqs {
+		calls[i] = rpc.NewCall(ServiceName, "Open", r, &ids[i])
+	}
+	if err := rpc.CallBatch(c.c, calls); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }
 
 // Report sends receiver-observed progress.
