@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	bitdew-service -addr 0.0.0.0:4567 [-wal bitdew.wal] [-datadir ./store]
+//	bitdew-service -addr 0.0.0.0:4567 [-state-dir ./state] [-wal bitdew.wal] [-datadir ./store]
 //
-// With -wal, catalog meta-data survive a transient service failure: on
-// restart the WAL is replayed before serving (the paper's fault model for
-// service hosts).
+// With -state-dir, the whole service plane is durable: catalog data and
+// locators, scheduler placements and repository endpoints are checkpointed
+// under <state-dir>/meta (snapshot + compacted write-ahead log) and
+// repository content under <state-dir>/data, and all of it is recovered on
+// restart (the paper's transient fault model for service hosts — an
+// administrator restarts them). The older -wal flag persists the service
+// tables to a single uncompacted append-only log and is kept for
+// compatibility.
 package main
 
 import (
@@ -25,43 +30,30 @@ import (
 	"bitdew/internal/runtime"
 )
 
+// options are the CLI flags, separated from main so tests can drive the
+// same configuration path the binary runs.
+type options struct {
+	addr     string
+	stateDir string
+	walPath  string
+	dataDir  string
+	throttle int64
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:4567", "rpc listen address")
-	walPath := flag.String("wal", "", "write-ahead-log file for catalog metadata (enables restart recovery)")
-	dataDir := flag.String("datadir", "", "directory for repository content (default: in-memory)")
-	throttle := flag.Int64("throttle", 0, "ftp server per-connection rate cap in bytes/s (0 = unlimited)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:4567", "rpc listen address")
+	flag.StringVar(&o.stateDir, "state-dir", "", "directory checkpointing ALL service state (metadata + content); restart recovers it")
+	flag.StringVar(&o.walPath, "wal", "", "legacy uncompacted write-ahead-log file (superseded by -state-dir)")
+	flag.StringVar(&o.dataDir, "datadir", "", "directory for repository content (default: in-memory, or <state-dir>/data)")
+	flag.Int64Var(&o.throttle, "throttle", 0, "ftp server per-connection rate cap in bytes/s (0 = unlimited)")
 	flag.Parse()
 
-	cfg := runtime.ContainerConfig{Addr: *addr, FTPThrottle: *throttle}
-
-	if *walPath != "" {
-		store := db.NewRowStore()
-		if f, err := os.Open(*walPath); err == nil {
-			if err := store.Replay(f); err != nil {
-				log.Fatalf("replaying %s: %v", *walPath, err)
-			}
-			f.Close()
-			log.Printf("recovered catalog state from %s", *walPath)
-		}
-		wal, err := os.OpenFile(*walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			log.Fatalf("opening WAL: %v", err)
-		}
-		defer wal.Close()
-		walStore := db.NewRowStore(db.WithWAL(wal))
-		if err := copyStore(store, walStore); err != nil {
-			log.Fatalf("restoring state: %v", err)
-		}
-		cfg.Store = walStore
+	cfg, cleanup, err := buildConfig(o)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	if *dataDir != "" {
-		backend, err := repository.NewDirBackend(*dataDir)
-		if err != nil {
-			log.Fatalf("opening datadir: %v", err)
-		}
-		cfg.Backend = backend
-	}
+	defer cleanup()
 
 	c, err := runtime.NewContainer(cfg)
 	if err != nil {
@@ -71,6 +63,9 @@ func main() {
 
 	fmt.Printf("bitdew-service listening\n")
 	fmt.Printf("  rpc (dc/dr/dt/ds): %s\n", c.Addr())
+	if o.stateDir != "" {
+		fmt.Printf("  state:             %s (restartable)\n", o.stateDir)
+	}
 	if c.FTP != nil {
 		fmt.Printf("  ftp:               %s\n", c.FTP.Addr())
 	}
@@ -87,10 +82,70 @@ func main() {
 	log.Println("shutting down")
 }
 
+// buildConfig turns CLI options into a container configuration. The
+// returned cleanup releases resources the configuration holds open (the
+// legacy WAL file) and must run after the container closes.
+func buildConfig(o options) (runtime.ContainerConfig, func(), error) {
+	cfg := runtime.ContainerConfig{Addr: o.addr, FTPThrottle: o.throttle, StateDir: o.stateDir}
+	cleanup := func() {}
+
+	if o.stateDir != "" && o.walPath != "" {
+		return cfg, cleanup, fmt.Errorf("-state-dir already persists the catalog; drop -wal")
+	}
+
+	if o.walPath != "" {
+		store, walCleanup, err := openLegacyWAL(o.walPath)
+		if err != nil {
+			return cfg, cleanup, err
+		}
+		cfg.Store = store
+		cleanup = walCleanup
+	}
+
+	if o.dataDir != "" {
+		backend, err := repository.NewDirBackend(o.dataDir)
+		if err != nil {
+			cleanup()
+			return cfg, func() {}, fmt.Errorf("opening datadir: %w", err)
+		}
+		cfg.Backend = backend
+	}
+	return cfg, cleanup, nil
+}
+
+// openLegacyWAL recovers a -wal file into a fresh store that keeps
+// appending to it (the pre-state-dir persistence path: a bare append-only
+// log — no snapshots, no compaction, so the file grows without bound;
+// prefer -state-dir).
+func openLegacyWAL(walPath string) (db.Store, func(), error) {
+	store := db.NewRowStore()
+	if f, err := os.Open(walPath); err == nil {
+		if err := store.Replay(f); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("replaying %s: %w", walPath, err)
+		}
+		f.Close()
+		log.Printf("recovered catalog state from %s", walPath)
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening WAL: %w", err)
+	}
+	walStore := db.NewRowStore(db.WithWAL(wal))
+	if err := copyStore(store, walStore); err != nil {
+		wal.Close()
+		return nil, nil, fmt.Errorf("restoring state: %w", err)
+	}
+	return walStore, func() { wal.Close() }, nil
+}
+
 // copyStore copies every row from src into dst.
 func copyStore(src *db.RowStore, dst db.Store) error {
 	// Tables used by the services are fixed; scanning a superset is safe.
-	for _, table := range []string{"dc_data", "dc_locators"} {
+	// All four services write through the container's store, so the legacy
+	// WAL accumulates scheduler and repository rows too — recover them all
+	// rather than silently dropping what was paid for on the append path.
+	for _, table := range []string{"dc_data", "dc_locators", "ds_entries", "dr_endpoints"} {
 		err := src.Scan(table, func(k string, v []byte) bool {
 			return dst.Put(table, k, v) == nil
 		})

@@ -26,6 +26,16 @@
 // with cache deltas (adds/removes since the last acknowledged epoch)
 // rather than reshipping their full cache set every period.
 //
+// The service plane is durable and restartable, matching the paper's
+// database-backed services and its transient fault model for service
+// hosts: all D* meta-data persists through db.Store (with
+// runtime.ContainerConfig.StateDir, a snapshot+WAL db.DurableStore on
+// disk, compacted periodically), clients reconnect through rpc.DialAuto,
+// and a killed service host comes back with catalog data, locators and
+// scheduler placements intact while delta-syncing nodes reconverge
+// through the full-resync fallback. testbed.RunServiceChurn and
+// BenchmarkServiceRecovery (recovery_bench_test.go) exercise the cycle.
+//
 // The benchmarks in bench_test.go regenerate the paper's tables on the
 // real components and its figures on the simulated testbeds; the
 // cmd/bench-tables binary prints them in the paper's row/column format.

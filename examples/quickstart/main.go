@@ -5,9 +5,15 @@
 // HTTP, and watches two reservoir hosts receive it through the pull model.
 //
 //	go run ./examples/quickstart
+//
+// With -service HOST:PORT it attaches to an external service host (start
+// one with cmd/bitdew-service) instead of starting services in-process —
+// the flow is otherwise identical. CI uses this to prove a -state-dir
+// service survives a restart with the quickstart's data intact.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,19 +22,34 @@ import (
 )
 
 func main() {
-	// A service container bundles the four D* services (Data Catalog,
-	// Data Repository, Data Transfer, Data Scheduler) plus the transfer
-	// protocol servers. Addr "" keeps everything in-process.
-	services, err := runtime.NewContainer(runtime.ContainerConfig{})
+	serviceAddr := flag.String("service", "", "external service host rpc address (default: start services in-process)")
+	flag.Parse()
+
+	// connect yields fresh service connections for each node: direct
+	// in-process dispatch by default, TCP with -service.
+	var connect func() (*core.Comms, error)
+	if *serviceAddr != "" {
+		connect = func() (*core.Comms, error) { return core.Connect(*serviceAddr) }
+	} else {
+		// A service container bundles the four D* services (Data Catalog,
+		// Data Repository, Data Transfer, Data Scheduler) plus the transfer
+		// protocol servers. Addr "" keeps everything in-process.
+		services, err := runtime.NewContainer(runtime.ContainerConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer services.Close()
+		connect = func() (*core.Comms, error) { return core.ConnectLocal(services.Mux), nil }
+	}
+
+	// The client node: attach, create a datum, put content.
+	clientComms, err := connect()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer services.Close()
-
-	// The client node: attach, create a datum, put content.
 	client, err := core.NewNode(core.NodeConfig{
 		Host:  "client",
-		Comms: core.ConnectLocal(services.Mux),
+		Comms: clientComms,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -58,9 +79,13 @@ func main() {
 	// scheduler assigns the datum, the transfer engine fetches it out-of-
 	// band, the MD5 is verified, and the copy event fires.
 	for i := 1; i <= 2; i++ {
+		workerComms, err := connect()
+		if err != nil {
+			log.Fatal(err)
+		}
 		worker, err := core.NewNode(core.NodeConfig{
 			Host:  fmt.Sprintf("worker-%d", i),
-			Comms: core.ConnectLocal(services.Mux),
+			Comms: workerComms,
 		})
 		if err != nil {
 			log.Fatal(err)

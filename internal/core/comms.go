@@ -46,8 +46,12 @@ type Comms struct {
 }
 
 // Connect dials the service host at addr over TCP for all four services.
+// The connection reconnects itself: when a service host bounces (the
+// paper's transient fault model — an administrator restarts it), calls
+// failing at the transport level are retried on a fresh connection instead
+// of wedging the client, so a node rides through a D* restart.
 func Connect(addr string) (*Comms, error) {
-	c, err := rpc.Dial(addr)
+	c, err := rpc.DialAuto(addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
 	}
@@ -55,9 +59,9 @@ func Connect(addr string) (*Comms, error) {
 }
 
 // ConnectWithLatency dials addr injecting a per-call latency, used to
-// emulate wide-area deployments from one machine.
+// emulate wide-area deployments from one machine. Reconnects like Connect.
 func ConnectWithLatency(addr string, latency time.Duration) (*Comms, error) {
-	c, err := rpc.Dial(addr, rpc.WithCallLatency(latency))
+	c, err := rpc.DialAuto(addr, rpc.WithCallLatency(latency))
 	if err != nil {
 		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
 	}

@@ -273,6 +273,15 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: sync %s: %w", n.Host, err)
 	}
+	// An epoch that did not advance past the one we reported against means
+	// the scheduler restarted and some other report re-established our
+	// session underneath us (a restarted scheduler normally answers Resync
+	// outright, since delta sessions are deliberately not persisted).
+	// Either way the server's mirror cannot be trusted: reconverge through
+	// a full report.
+	if !args.Full && !res.Resync && res.Epoch <= args.Epoch {
+		res.Resync = true
+	}
 	if res.Resync {
 		// The scheduler lost (or never had) our session: repeat as a full
 		// report of the same snapshot.

@@ -1,0 +1,343 @@
+package db
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Default compaction policy of a DurableStore: compact once the WAL holds
+// this many records (each Put/Delete is one record). Compaction cost is one
+// full snapshot write, so the threshold trades recovery-replay length
+// against snapshot churn.
+const DefaultCompactEvery = 4096
+
+const (
+	snapshotFile = "snapshot.gob"
+	walFile      = "wal.gob"
+)
+
+// DurableStore is a RowStore whose state survives process restarts: every
+// mutation is appended to an on-disk write-ahead log before it is applied,
+// and the log is periodically compacted by writing a full snapshot and
+// rotating the log (the paper's §3.4–3.5 design, where all D* service
+// meta-data lives in a relational database precisely so a service restart
+// loses nothing).
+//
+// Layout inside the state directory:
+//
+//	snapshot.gob   full state at the last compaction (a WAL stream of puts)
+//	wal.gob        mutations since the last compaction
+//
+// Open replays snapshot then WAL; a torn final WAL record (the crash
+// happened mid-append) is tolerated and dropped. All methods are safe for
+// concurrent use.
+type DurableStore struct {
+	mu  sync.Mutex
+	mem *RowStore
+	dir string
+
+	walF   *os.File
+	walEnc *gob.Encoder
+	walN   int // records appended since the last compaction
+
+	compactEvery    int
+	compactInterval time.Duration
+	stopCompact     chan struct{}
+	compactWG       sync.WaitGroup
+
+	// broken latches a WAL-append failure that compaction could not clear:
+	// mutations are refused (reads and Close still work) so a damaged log
+	// is never extended past the point recovery can trust.
+	broken error
+	closed bool
+}
+
+// DurableOption configures an OpenDurable call.
+type DurableOption func(*DurableStore)
+
+// WithCompactEvery sets the WAL record count that triggers an automatic
+// compaction (0 keeps DefaultCompactEvery; negative disables count-based
+// compaction).
+func WithCompactEvery(n int) DurableOption {
+	return func(s *DurableStore) { s.compactEvery = n }
+}
+
+// WithCompactInterval additionally compacts on a timer, so a mostly idle
+// service still bounds its recovery-replay length.
+func WithCompactInterval(d time.Duration) DurableOption {
+	return func(s *DurableStore) { s.compactInterval = d }
+}
+
+// OpenDurable opens (creating if needed) the durable store rooted at dir
+// and recovers its state: the last snapshot is replayed, then the WAL on
+// top of it.
+func OpenDurable(dir string, opts ...DurableOption) (*DurableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: open durable: %w", err)
+	}
+	s := &DurableStore{
+		mem:          NewRowStore(),
+		dir:          dir,
+		compactEvery: DefaultCompactEvery,
+		stopCompact:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	if err := replayFile(s.mem, filepath.Join(dir, snapshotFile)); err != nil {
+		return nil, err
+	}
+	walRecs, err := replayFileCount(s.mem, filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	s.walN = walRecs
+	walF, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("db: open wal: %w", err)
+	}
+	s.walF = walF
+	s.walEnc = gob.NewEncoder(walF)
+	// A recovered WAL may contain a torn final record; the gob stream we
+	// append would then be unreadable past it. Compact immediately so the
+	// new WAL starts from a clean snapshot — this also caps the next
+	// recovery's replay at the snapshot plus a fresh log.
+	if err := s.compactLocked(); err != nil {
+		walF.Close()
+		return nil, err
+	}
+	if s.compactInterval > 0 {
+		s.compactWG.Add(1)
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// replayFile replays a snapshot/WAL file into mem; a missing file is fine.
+func replayFile(mem *RowStore, path string) error {
+	_, err := replayFileCount(mem, path)
+	return err
+}
+
+// replayFileCount replays path into mem, returning the number of records
+// applied. A torn trailing record (crash mid-append) ends the replay
+// cleanly; any earlier corruption is a real error.
+func replayFileCount(mem *RowStore, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("db: recover %s: %w", path, err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	n := 0
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("db: recover %s: record %d: %w", path, n+1, err)
+		}
+		var applyErr error
+		switch rec.Op {
+		case 'P':
+			applyErr = mem.Put(rec.Table, rec.Key, rec.Value)
+		case 'D':
+			applyErr = mem.Delete(rec.Table, rec.Key)
+		default:
+			applyErr = fmt.Errorf("db: recover %s: unknown op %q", path, rec.Op)
+		}
+		if applyErr != nil {
+			return n, applyErr
+		}
+		n++
+	}
+}
+
+func (s *DurableStore) compactLoop() {
+	defer s.compactWG.Done()
+	ticker := time.NewTicker(s.compactInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCompact:
+			return
+		case <-ticker.C:
+			s.Compact()
+		}
+	}
+}
+
+// append writes one WAL record, then applies fn to the in-memory state, and
+// compacts when the WAL has grown past the threshold.
+func (s *DurableStore) append(rec walRecord, fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.broken != nil {
+		return s.broken
+	}
+	if err := s.walEnc.Encode(rec); err != nil {
+		// The failed encode may have written part of the record, leaving a
+		// torn region in the MIDDLE of the log once later appends succeed —
+		// which recovery only tolerates at the tail. The mutation was not
+		// applied, so the in-memory state is consistent: compact now to
+		// snapshot it and rotate the damaged log away. If compaction also
+		// fails (the disk is truly gone), refuse further mutations; reads
+		// and Close keep working.
+		if cerr := s.compactLocked(); cerr != nil {
+			s.broken = fmt.Errorf("db: wal unwritable: %v (compaction failed too: %v)", err, cerr)
+			return s.broken
+		}
+		return fmt.Errorf("db: wal append: %w", err)
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	s.walN++
+	if s.compactEvery > 0 && s.walN >= s.compactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+func (s *DurableStore) Put(table, key string, value []byte) error {
+	return s.append(walRecord{Op: 'P', Table: table, Key: key, Value: value}, func() error {
+		return s.mem.Put(table, key, value)
+	})
+}
+
+func (s *DurableStore) Delete(table, key string) error {
+	return s.append(walRecord{Op: 'D', Table: table, Key: key}, func() error {
+		return s.mem.Delete(table, key)
+	})
+}
+
+func (s *DurableStore) Get(table, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	return s.mem.Get(table, key)
+}
+
+func (s *DurableStore) Keys(table string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.mem.Keys(table)
+}
+
+func (s *DurableStore) Scan(table string, fn func(key string, value []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.mem.Scan(table, fn)
+}
+
+// Len reports the number of rows in a table.
+func (s *DurableStore) Len(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Len(table)
+}
+
+// WALRecords reports the records appended since the last compaction (the
+// length of the replay a crash right now would pay on top of the snapshot).
+func (s *DurableStore) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walN
+}
+
+// Compact checkpoints the store: the full state is written to a fresh
+// snapshot (atomically, via rename) and the WAL is rotated to empty. After
+// a crash, recovery replays the snapshot plus only the post-compaction log.
+func (s *DurableStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *DurableStore) compactLocked() error {
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("db: compact: %w", err)
+	}
+	if err := s.mem.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("db: compact: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("db: compact: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("db: compact: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("db: compact: publish snapshot: %w", err)
+	}
+	// Rotate the log: everything up to this instant is in the snapshot.
+	if err := s.walF.Close(); err != nil {
+		return fmt.Errorf("db: compact: rotate wal: %w", err)
+	}
+	walF, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("db: compact: rotate wal: %w", err)
+	}
+	s.walF = walF
+	s.walEnc = gob.NewEncoder(walF)
+	s.walN = 0
+	return nil
+}
+
+// Close stops the compaction timer, flushes the WAL file and closes the
+// store. Operations after Close return ErrClosed.
+func (s *DurableStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopCompact)
+	s.mu.Unlock()
+	s.compactWG.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.walF.Sync()
+	if cerr := s.walF.Close(); err == nil {
+		err = cerr
+	}
+	if merr := s.mem.Close(); err == nil {
+		err = merr
+	}
+	return err
+}

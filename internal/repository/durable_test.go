@@ -1,0 +1,46 @@
+package repository
+
+import (
+	"testing"
+
+	"bitdew/internal/data"
+	"bitdew/internal/db"
+)
+
+func TestDurableServiceRecoversEndpoints(t *testing.T) {
+	store := db.NewRowStore()
+	s, err := NewDurableService(NewMemBackend(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterEndpoint("http", "127.0.0.1:8080")
+	s.RegisterEndpoint("ftp", "127.0.0.1:2121")
+
+	re, err := NewDurableService(NewMemBackend(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := re.Protocols()
+	if len(protos) != 2 || protos[0] != "ftp" || protos[1] != "http" {
+		t.Fatalf("recovered protocols = %v", protos)
+	}
+	loc, err := re.Locator(data.UID("u1"), "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Host != "127.0.0.1:8080" {
+		t.Fatalf("recovered locator host = %q", loc.Host)
+	}
+
+	// A re-registration after restart (new ephemeral port) overwrites the
+	// recovered row, durably.
+	re.RegisterEndpoint("http", "127.0.0.1:9090")
+	re2, err := NewDurableService(NewMemBackend(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err = re2.Locator(data.UID("u1"), "http")
+	if err != nil || loc.Host != "127.0.0.1:9090" {
+		t.Fatalf("overwritten endpoint = %q, %v", loc.Host, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bitdew/internal/data"
+	"bitdew/internal/db"
 	"bitdew/internal/rpc"
 )
 
@@ -29,26 +30,56 @@ type Service struct {
 
 	mu        sync.RWMutex
 	endpoints map[string]string // protocol -> host:port
+	// store, when set, receives a durable copy of the endpoint table, so a
+	// restarted repository still knows where its content is served before
+	// (or without) the protocol servers re-registering.
+	store db.Store
 	// locatorHook, when set, runs before a locator is issued; the service
 	// container uses it to lazily start protocol servers that need
 	// per-datum state (e.g. a swarm seeder for "bittorrent").
 	locatorHook func(uid data.UID, protocol string) error
 }
 
+// tableEndpoints is the db.Store table mapping protocol names to endpoint
+// addresses.
+const tableEndpoints = "dr_endpoints"
+
 // NewService wraps a storage backend as a Data Repository.
 func NewService(backend Backend) *Service {
 	return &Service{backend: backend, endpoints: make(map[string]string)}
+}
+
+// NewDurableService is NewService with the endpoint table backed by store:
+// previously persisted endpoints are recovered (protocol servers that
+// re-register on restart simply overwrite their row), and registrations are
+// written through.
+func NewDurableService(backend Backend, store db.Store) (*Service, error) {
+	s := NewService(backend)
+	err := store.Scan(tableEndpoints, func(protocol string, addr []byte) bool {
+		s.endpoints[protocol] = string(addr)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repository: recover endpoints: %w", err)
+	}
+	s.store = store
+	return s, nil
 }
 
 // Backend exposes the repository's storage to co-located protocol servers.
 func (s *Service) Backend() Backend { return s.backend }
 
 // RegisterEndpoint announces that protocol is served at addr for this
-// repository's content.
+// repository's content. On a durable repository the registration is
+// persisted (best-effort: an endpoint is re-announced on every start, so a
+// lost write heals at the next restart).
 func (s *Service) RegisterEndpoint(protocol, addr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.endpoints[protocol] = addr
+	if s.store != nil {
+		_ = s.store.Put(tableEndpoints, protocol, []byte(addr))
+	}
 }
 
 // Protocols lists the protocols this repository serves, sorted.

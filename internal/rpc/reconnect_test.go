@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+)
+
+// echoMux returns a mux with an "echo.Echo" method returning its argument.
+func echoMux() *Mux {
+	m := NewMux()
+	Register(m, "echo", "Echo", func(s string) (string, error) {
+		return s, nil
+	})
+	Register(m, "echo", "Fail", func(s string) (string, error) {
+		return "", errors.New("handler says no")
+	})
+	return m
+}
+
+func TestTransportErrorIsTagged(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", "Echo", "hi", &out); err != nil || out != "hi" {
+		t.Fatalf("Call = %q, %v", out, err)
+	}
+
+	// An application error must NOT be a transport error.
+	if err := c.Call("echo", "Fail", "x", &out); err == nil || errors.Is(err, ErrTransport) {
+		t.Fatalf("handler error tagged as transport: %v", err)
+	}
+
+	// Kill the server: in-flight and subsequent calls fail with ErrTransport.
+	srv.Close()
+	if err := c.Call("echo", "Echo", "hi", &out); !errors.Is(err, ErrTransport) {
+		t.Fatalf("call after server death = %v, want ErrTransport", err)
+	}
+}
+
+func TestDialAutoReconnectsAfterServerBounce(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	c, err := DialAuto(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	if err := c.Call("echo", "Echo", "before", &out); err != nil || out != "before" {
+		t.Fatalf("Call before bounce = %q, %v", out, err)
+	}
+
+	// Bounce the server on the same address (a service-host restart).
+	srv.Close()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	srv2 := NewServer(lis, echoMux())
+	defer srv2.Close()
+
+	if err := c.Call("echo", "Echo", "after", &out); err != nil || out != "after" {
+		t.Fatalf("Call after bounce = %q, %v", out, err)
+	}
+	if n, ok := RoundTrips(c); !ok || n < 2 {
+		t.Fatalf("RoundTrips across reconnection = %d, %v", n, ok)
+	}
+}
+
+func TestDialAutoBatchReconnects(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c, err := DialAuto(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var a, b string
+	warm := []*Call{NewCall("echo", "Echo", "w", &a)}
+	if err := CallBatch(c, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(lis, echoMux())
+	defer srv2.Close()
+
+	calls := []*Call{
+		NewCall("echo", "Echo", "one", &a),
+		NewCall("echo", "Echo", "two", &b),
+	}
+	if err := CallBatch(c, calls); err != nil {
+		t.Fatalf("batch after bounce: %v", err)
+	}
+	if a != "one" || b != "two" || FirstError(calls) != nil {
+		t.Fatalf("batch replies = %q, %q, err %v", a, b, FirstError(calls))
+	}
+}
+
+func TestDialAutoDoesNotRetryApplicationErrors(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialAuto(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	err = c.Call("echo", "Fail", "x", &out)
+	if err == nil || !strings.Contains(err.Error(), "handler says no") {
+		t.Fatalf("err = %v", err)
+	}
+	// Exactly one frame: the application error was not retried.
+	if n, _ := RoundTrips(c); n != 1 {
+		t.Fatalf("RoundTrips = %d, want 1 (no retry of handler errors)", n)
+	}
+}
+
+func TestDialAutoClosed(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialAuto(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	var out string
+	if err := c.Call("echo", "Echo", "hi", &out); err == nil {
+		t.Fatal("call after Close succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}

@@ -10,6 +10,12 @@ import (
 	"time"
 )
 
+// ErrTransport marks a failure of the connection itself (broken link, dead
+// peer, failed redial) as opposed to an error returned by the remote
+// handler. Reconnecting clients retry calls that fail with it; application
+// errors are never retried.
+var ErrTransport = errors.New("rpc: transport failure")
+
 // request and response are the wire messages. Args and Reply are pre-encoded
 // gob payloads so the framing codec stays independent of call signatures.
 // A non-empty Batch makes the frame a multi-call: N logical calls sharing
@@ -240,13 +246,16 @@ func (c *tcpClient) readLoop() {
 
 func (c *tcpClient) failAll(err error) {
 	if err == io.EOF {
-		err = errors.New("rpc: connection closed")
+		err = errors.New("connection closed")
 	}
 	c.mu.Lock()
 	c.readErr = err
 	for seq, ch := range c.pending {
 		delete(c.pending, seq)
-		ch <- response{Err: err.Error()}
+		// Closing (instead of answering) marks the outcome as a transport
+		// failure: roundTrip turns it into an ErrTransport, never into an
+		// application error.
+		close(ch)
 	}
 	c.mu.Unlock()
 }
@@ -263,7 +272,7 @@ func (c *tcpClient) roundTrip(req request) (response, error) {
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return response{}, err
+		return response{}, fmt.Errorf("%w: %v", ErrTransport, err)
 	}
 	c.seq++
 	req.Seq = c.seq
@@ -282,9 +291,16 @@ func (c *tcpClient) roundTrip(req request) (response, error) {
 		c.mu.Lock()
 		delete(c.pending, req.Seq)
 		c.mu.Unlock()
-		return response{}, fmt.Errorf("rpc: sending request: %w", err)
+		return response{}, fmt.Errorf("%w: sending request: %v", ErrTransport, err)
 	}
-	return <-ch, nil
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		readErr := c.readErr
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("%w: %v", ErrTransport, readErr)
+	}
+	return resp, nil
 }
 
 func (c *tcpClient) Call(service, method string, args, reply any) error {

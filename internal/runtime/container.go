@@ -9,7 +9,9 @@ package runtime
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"bitdew/internal/catalog"
 	"bitdew/internal/data"
@@ -28,7 +30,19 @@ type ContainerConfig struct {
 	// Addr is the rpc listen address; empty serves in-process only (access
 	// the container through Mux with core.ConnectLocal).
 	Addr string
-	// Store is the meta-data database (defaults to an embedded RowStore).
+	// StateDir makes the whole service plane durable and restartable: the
+	// meta-data of every D* service (catalog data + locators, scheduler
+	// placements, repository endpoints) is checkpointed under
+	// StateDir/meta (snapshot + write-ahead log, compacted periodically)
+	// and repository content lives under StateDir/data, so a container
+	// rebuilt over the same directory recovers all of it. Ignored for the
+	// store when Store is set, and for the content when Backend is set.
+	StateDir string
+	// CompactEvery overrides the StateDir store's WAL compaction threshold
+	// (records between automatic snapshot+rotation; 0 keeps the default).
+	CompactEvery int
+	// Store is the meta-data database (defaults to an embedded RowStore;
+	// all four services persist through it).
 	Store db.Store
 	// Backend is the repository storage (defaults to in-memory).
 	Backend repository.Backend
@@ -55,6 +69,9 @@ type Container struct {
 	Tracker *swarm.Tracker
 
 	rpcServer *rpc.Server
+	// ownStore is the durable store this container opened from StateDir
+	// (nil when the caller supplied Store); Close flushes and closes it.
+	ownStore *db.DurableStore
 
 	mu      sync.Mutex
 	seeders map[data.UID]*swarm.Peer
@@ -63,27 +80,65 @@ type Container struct {
 
 // NewContainer builds and starts a service container.
 func NewContainer(cfg ContainerConfig) (*Container, error) {
+	var ownStore *db.DurableStore
 	if cfg.Store == nil {
-		cfg.Store = db.NewRowStore()
+		if cfg.StateDir != "" {
+			var err error
+			ownStore, err = db.OpenDurable(filepath.Join(cfg.StateDir, "meta"),
+				db.WithCompactEvery(cfg.CompactEvery),
+				db.WithCompactInterval(time.Minute))
+			if err != nil {
+				return nil, fmt.Errorf("runtime: %w", err)
+			}
+			cfg.Store = ownStore
+		} else {
+			cfg.Store = db.NewRowStore()
+		}
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = repository.NewMemBackend()
+		if cfg.StateDir != "" {
+			backend, err := repository.NewDirBackend(filepath.Join(cfg.StateDir, "data"))
+			if err != nil {
+				if ownStore != nil {
+					ownStore.Close()
+				}
+				return nil, fmt.Errorf("runtime: %w", err)
+			}
+			cfg.Backend = backend
+		} else {
+			cfg.Backend = repository.NewMemBackend()
+		}
+	}
+	ds, err := scheduler.NewDurable(cfg.Store)
+	if err != nil {
+		if ownStore != nil {
+			ownStore.Close()
+		}
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	dr, err := repository.NewDurableService(cfg.Backend, cfg.Store)
+	if err != nil {
+		if ownStore != nil {
+			ownStore.Close()
+		}
+		return nil, fmt.Errorf("runtime: %w", err)
 	}
 	c := &Container{
-		Mux:     rpc.NewMux(),
-		DC:      catalog.NewService(cfg.Store),
-		DR:      repository.NewService(cfg.Backend),
-		DT:      transfer.NewService(),
-		DS:      scheduler.New(),
-		seeders: make(map[data.UID]*swarm.Peer),
+		Mux:      rpc.NewMux(),
+		DC:       catalog.NewService(cfg.Store),
+		DR:       dr,
+		DT:       transfer.NewService(),
+		DS:       ds,
+		ownStore: ownStore,
+		seeders:  make(map[data.UID]*swarm.Peer),
 	}
-	var err error
 	if !cfg.DisableFTP {
 		var opts []ftp.Option
 		if cfg.FTPThrottle > 0 {
 			opts = append(opts, ftp.WithThrottle(cfg.FTPThrottle))
 		}
 		if c.FTP, err = ftp.NewServer(cfg.Backend, "127.0.0.1:0", opts...); err != nil {
+			c.Close()
 			return nil, fmt.Errorf("runtime: %w", err)
 		}
 		c.DR.RegisterEndpoint("ftp", c.FTP.Addr())
@@ -124,6 +179,16 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		}
 	}
 	return c, nil
+}
+
+// Checkpoint forces a compaction of the container's durable store (a full
+// snapshot plus WAL rotation), bounding the replay a subsequent restart
+// pays. It is a no-op for containers without a StateDir-opened store.
+func (c *Container) Checkpoint() error {
+	if c.ownStore == nil {
+		return nil
+	}
+	return c.ownStore.Compact()
 }
 
 // Addr returns the rpc listen address ("" when serving in-process only).
@@ -183,6 +248,9 @@ func (c *Container) Close() error {
 	}
 	if c.Tracker != nil {
 		c.Tracker.Close()
+	}
+	if c.ownStore != nil {
+		c.ownStore.Close()
 	}
 	return nil
 }

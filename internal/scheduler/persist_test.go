@@ -1,0 +1,178 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/data"
+	"bitdew/internal/db"
+)
+
+// restartDurable closes nothing (the store is in-memory) but simulates a
+// service crash/restart: a fresh scheduler recovered from the same store.
+func restartDurable(t *testing.T, store db.Store) *Service {
+	t.Helper()
+	s, err := NewDurable(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDurableSchedulerRecoversEntries(t *testing.T) {
+	store := db.NewRowStore()
+	s := restartDurable(t, store)
+
+	d1 := data.New("a")
+	d2 := data.New("b")
+	if err := s.Schedule(*d1, attr.Attribute{Name: "one", Replica: 2, FaultTolerant: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(*d2, attr.Attribute{Name: "coll", Pinned: true}, "master"); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync("w1", nil) // w1 gets assigned d1
+
+	re := restartDurable(t, store)
+	entries := re.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2", len(entries))
+	}
+	// Insertion order survives the restart.
+	if entries[0].Data.UID != d1.UID || entries[1].Data.UID != d2.UID {
+		t.Fatalf("recovered order = %s, %s", entries[0].Data.Name, entries[1].Data.Name)
+	}
+	if entries[0].Attr.Replica != 2 || !entries[0].Attr.FaultTolerant {
+		t.Fatalf("recovered attr = %+v", entries[0].Attr)
+	}
+	// Placements survive: w1 still owns d1, the pin still holds.
+	if owners := re.Owners(d1.UID); len(owners) != 1 || owners[0] != "w1" {
+		t.Fatalf("recovered owners of d1 = %v", owners)
+	}
+	if owners := re.Owners(d2.UID); len(owners) != 1 || owners[0] != "master" {
+		t.Fatalf("recovered owners of pinned d2 = %v", owners)
+	}
+	// The pin itself survives: a sync from master with an empty cache must
+	// not withdraw pinned ownership.
+	re.Sync("master", nil)
+	if owners := re.Owners(d2.UID); len(owners) != 1 {
+		t.Fatalf("pin lost after restart: owners = %v", owners)
+	}
+	if err := re.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableSchedulerUnscheduleAndGCDeleteRows(t *testing.T) {
+	store := db.NewRowStore()
+	s := restartDurable(t, store)
+
+	d := data.New("doomed")
+	if err := s.Schedule(*d, attr.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len(tableEntries) != 1 {
+		t.Fatalf("rows = %d, want 1", store.Len(tableEntries))
+	}
+	if err := s.Unschedule(d.UID); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len(tableEntries) != 0 {
+		t.Fatalf("rows after Unschedule = %d, want 0", store.Len(tableEntries))
+	}
+
+	// GC also deletes the durable rows of expired entries.
+	now := time.Now()
+	s.SetClock(func() time.Time { return now })
+	exp := data.New("expiring")
+	s.Schedule(*exp, attr.Attribute{Name: "short", LifetimeAbs: time.Second})
+	now = now.Add(2 * time.Second)
+	if n := s.GC(); n != 1 {
+		t.Fatalf("GC removed %d, want 1", n)
+	}
+	if store.Len(tableEntries) != 0 {
+		t.Fatalf("rows after GC = %d, want 0", store.Len(tableEntries))
+	}
+}
+
+func TestDurableSchedulerNewOrderContinues(t *testing.T) {
+	store := db.NewRowStore()
+	s := restartDurable(t, store)
+	d1 := data.New("first")
+	s.Schedule(*d1, attr.Default())
+
+	re := restartDurable(t, store)
+	d2 := data.New("second")
+	re.Schedule(*d2, attr.Default())
+	entries := re.Entries()
+	if len(entries) != 2 || entries[0].Data.UID != d1.UID || entries[1].Data.UID != d2.UID {
+		t.Fatalf("post-restart scheduling broke insertion order: %+v", entries)
+	}
+}
+
+func TestDurableSchedulerRestartForcesResync(t *testing.T) {
+	store := db.NewRowStore()
+	s := restartDurable(t, store)
+	d := data.New("x")
+	s.Schedule(*d, attr.Default())
+
+	// Establish a delta session.
+	res := s.SyncDelta("w1", 0, true, nil, nil, false)
+	if res.Resync {
+		t.Fatal("full report refused")
+	}
+
+	// Sessions are not persisted: after a restart the host's next delta is
+	// told to resync, and its full report reconverges.
+	re := restartDurable(t, store)
+	res2 := re.SyncDelta("w1", res.Epoch, false, nil, nil, false)
+	if !res2.Resync {
+		t.Fatal("restarted scheduler accepted a stale delta session")
+	}
+	res3 := re.SyncDelta("w1", 0, true, []data.UID{d.UID}, nil, false)
+	if res3.Resync {
+		t.Fatal("full resync refused after restart")
+	}
+	if len(res3.Keep) != 1 || res3.Keep[0] != d.UID {
+		t.Fatalf("reconverged keep = %v", res3.Keep)
+	}
+}
+
+func TestDurableSchedulerOverDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := db.OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurable(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.New("persisted")
+	s.Schedule(*d, attr.Attribute{Name: "bcast", Replica: attr.ReplicaAll, Protocol: "http"})
+	s.Sync("w1", nil)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2, err := db.OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	re, err := NewDurable(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := re.Entries()
+	if len(entries) != 1 || entries[0].Data.UID != d.UID {
+		t.Fatalf("entries after disk restart = %+v", entries)
+	}
+	if entries[0].Attr.Protocol != "http" || !entries[0].Attr.WantsBroadcast() {
+		t.Fatalf("attr after disk restart = %+v", entries[0].Attr)
+	}
+	if owners := re.Owners(d.UID); len(owners) != 1 || owners[0] != "w1" {
+		t.Fatalf("owners after disk restart = %v", owners)
+	}
+}

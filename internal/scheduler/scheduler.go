@@ -22,6 +22,7 @@ import (
 
 	"bitdew/internal/attr"
 	"bitdew/internal/data"
+	"bitdew/internal/db"
 )
 
 // DefaultMaxDataSchedule caps how many new data one synchronization may
@@ -97,6 +98,11 @@ type Service struct {
 	hosts map[string]time.Time
 	// sessions holds the per-host cache mirrors of the delta-sync protocol.
 	sessions map[string]*hostSession
+	// store, when set (AttachStore / NewDurable), receives a durable record
+	// of every placement change; storeErr latches the first write failure
+	// on the heartbeat path.
+	store    db.Store
+	storeErr error
 
 	// MaxDataSchedule caps new assignments per sync.
 	MaxDataSchedule int
@@ -141,10 +147,12 @@ func (s *Service) Schedule(d data.Data, a attr.Attribute) error {
 	if e, ok := s.theta[d.UID]; ok {
 		e.Data = d
 		e.Attr = a
+		s.persistLocked(d.UID)
 		return nil
 	}
 	s.orderC++
 	s.theta[d.UID] = &Entry{Data: d, Attr: a, scheduledAt: s.now(), order: s.orderC}
+	s.persistLocked(d.UID)
 	return nil
 }
 
@@ -162,6 +170,7 @@ func (s *Service) Pin(d data.Data, a attr.Attribute, host string) error {
 		s.pinned[d.UID] = make(map[string]bool)
 	}
 	s.pinned[d.UID][host] = true
+	s.persistLocked(d.UID)
 	return nil
 }
 
@@ -176,6 +185,7 @@ func (s *Service) Unschedule(uid data.UID) error {
 	delete(s.theta, uid)
 	delete(s.owners, uid)
 	delete(s.pinned, uid)
+	s.persistLocked(uid)
 	return nil
 }
 
@@ -215,13 +225,18 @@ func (s *Service) Hosts() []string {
 	return out
 }
 
-func (s *Service) addOwnerLocked(uid data.UID, host string) {
+// addOwnerLocked records (or refreshes) host's ownership of uid, reporting
+// whether the membership changed (a new owner, as opposed to a timestamp
+// refresh) — the signal the persistence layer uses to decide what to write.
+func (s *Service) addOwnerLocked(uid data.UID, host string) bool {
 	m := s.owners[uid]
 	if m == nil {
 		m = make(map[string]time.Time)
 		s.owners[uid] = m
 	}
+	_, existed := m[host]
 	m[host] = s.now()
+	return !existed
 }
 
 // orderedEntriesLocked returns live entries in insertion order.
@@ -273,7 +288,7 @@ func (s *Service) findByRefLocked(ref string) *Entry {
 // (unless pinned), so the replica count falls and Algorithm 1 reschedules
 // the datum. Owners of non-fault-tolerant data are kept: the replica is
 // simply unavailable while its host is down (paper §3.2).
-func (s *Service) expireOwnersLocked() {
+func (s *Service) expireOwnersLocked(dirty map[data.UID]bool) {
 	now := s.now()
 	for uid, e := range s.theta {
 		if !e.Attr.FaultTolerant {
@@ -285,6 +300,7 @@ func (s *Service) expireOwnersLocked() {
 			}
 			if now.Sub(seen) > s.Timeout {
 				delete(s.owners[uid], host)
+				dirty[uid] = true
 			}
 		}
 	}
@@ -364,7 +380,11 @@ func (s *Service) SyncDelta(host string, epoch uint64, full bool, added, removed
 // an explicit cache set). Callers hold s.mu.
 func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) SyncResult {
 	s.hosts[host] = s.now()
-	s.expireOwnersLocked()
+	// dirty collects the data whose placement membership changed this sync;
+	// they are persisted in one pass at the end (timestamp-only refreshes
+	// are not persisted — see persistLocked).
+	dirty := make(map[data.UID]bool)
+	s.expireOwnersLocked(dirty)
 
 	inCache := make(map[data.UID]bool, len(cache))
 	for _, uid := range cache {
@@ -384,9 +404,12 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 			// non-FT data so replica counting sees the copy, but never
 			// refresh its timestamp (its liveness is not tracked).
 			if e.Attr.FaultTolerant {
-				s.addOwnerLocked(uid, host)
+				if s.addOwnerLocked(uid, host) {
+					dirty[uid] = true
+				}
 			} else if _, owned := s.owners[uid][host]; !owned {
 				s.addOwnerLocked(uid, host)
+				dirty[uid] = true
 			}
 		} else {
 			result.Drop = append(result.Drop, uid)
@@ -401,6 +424,7 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 	for uid, owners := range s.owners {
 		if _, owned := owners[host]; owned && !inCache[uid] && !s.pinned[uid][host] {
 			delete(owners, host)
+			dirty[uid] = true
 		}
 	}
 
@@ -433,9 +457,13 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 		if assign {
 			psi[uid] = true
 			s.addOwnerLocked(uid, host)
+			dirty[uid] = true
 			result.Fetch = append(result.Fetch, Assignment{Data: e.Data, Attr: e.Attr})
 			newCount++
 		}
+	}
+	for uid := range dirty {
+		s.persistLocked(uid)
 	}
 	return result
 }
@@ -462,6 +490,7 @@ func (s *Service) GC() int {
 			delete(s.theta, uid)
 			delete(s.owners, uid)
 			delete(s.pinned, uid)
+			s.persistLocked(uid)
 			removed++
 		}
 	}

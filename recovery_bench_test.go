@@ -1,0 +1,54 @@
+package bitdew_test
+
+import (
+	"testing"
+	"time"
+
+	"bitdew/internal/testbed"
+)
+
+// ---- Service-plane durability (restart-to-reconverged) ----
+//
+// The paper backs all D* meta-data with a relational database so a service
+// restart loses nothing (§3.4–3.5). BenchmarkServiceRecovery measures the
+// cost of exercising that property on the real components: a durable
+// container over TCP is killed and restarted mid-BLAST-wave, and the
+// benchmark reports how long the system takes to reconverge — the
+// reconnecting clients re-dial, every delta-syncing worker is told to
+// resync and re-reports its full cache, and the recovered scheduler
+// re-places whatever the wave had not finished distributing.
+
+func BenchmarkServiceRecovery(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		report, err := testbed.RunServiceChurn(testbed.ChurnConfig{
+			Workers:  3,
+			Tasks:    8,
+			Restarts: 1,
+			StateDir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += report.RecoveryTime
+	}
+	b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "recovery-ms/op")
+}
+
+// TestBenchServiceRecoveryAcceptance pins the durability guarantee the
+// benchmark relies on: one kill/restart cycle mid-wave loses no data and
+// reconverges within the scenario deadline.
+func TestBenchServiceRecoveryAcceptance(t *testing.T) {
+	report, err := testbed.RunServiceChurn(testbed.ChurnConfig{
+		Workers:  2,
+		Tasks:    6,
+		Restarts: 1,
+		StateDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.DataSurvived != 7 || report.LocatorsSurvived != 7 {
+		t.Fatalf("survival: %d data, %d locators, want 7/7", report.DataSurvived, report.LocatorsSurvived)
+	}
+}
