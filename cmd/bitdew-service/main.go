@@ -6,6 +6,8 @@
 // Usage:
 //
 //	bitdew-service -addr 0.0.0.0:4567 [-state-dir ./state] [-wal bitdew.wal] [-datadir ./store]
+//	bitdew-service -addr 127.0.0.1:4600 -shards 4 [-state-dir ./state]
+//	bitdew-service -addr 127.0.0.1:4601 -shard-id 0 -peers 127.0.0.1:4601,127.0.0.1:4602 [-state-dir ./state]
 //
 // With -state-dir, the whole service plane is durable: catalog data and
 // locators, scheduler placements and repository endpoints are checkpointed
@@ -15,16 +17,30 @@
 // administrator restarts them). The older -wal flag persists the service
 // tables to a single uncompacted append-only log and is kept for
 // compatibility.
+//
+// The service plane shards horizontally. -shards N runs N independent
+// containers in this process, shard i listening on the -addr port + i and
+// checkpointing under <state-dir>/shard-<i>. For one shard per machine,
+// run each process with -shard-id I -peers addr0,addr1,... — the ordered
+// peer list is the membership table every process and every client must
+// share, because data home onto shards by consistent hash over that order
+// (connect clients with the same comma-separated list). Each shard also
+// serves the table under the "ring" rpc service for inspection
+// (bitdew ring).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
+	"bitdew/internal/core"
 	"bitdew/internal/db"
 	"bitdew/internal/repository"
 	"bitdew/internal/runtime"
@@ -38,16 +54,38 @@ type options struct {
 	walPath  string
 	dataDir  string
 	throttle int64
+	shards   int
+	shardID  int
+	peers    string
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.addr, "addr", "127.0.0.1:4567", "rpc listen address")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:4567", "rpc listen address (with -shards, shard i listens on port+i)")
 	flag.StringVar(&o.stateDir, "state-dir", "", "directory checkpointing ALL service state (metadata + content); restart recovers it")
 	flag.StringVar(&o.walPath, "wal", "", "legacy uncompacted write-ahead-log file (superseded by -state-dir)")
 	flag.StringVar(&o.dataDir, "datadir", "", "directory for repository content (default: in-memory, or <state-dir>/data)")
 	flag.Int64Var(&o.throttle, "throttle", 0, "ftp server per-connection rate cap in bytes/s (0 = unlimited)")
+	flag.IntVar(&o.shards, "shards", 0, "run a whole sharded service plane of N containers in this process")
+	flag.IntVar(&o.shardID, "shard-id", -1, "serve one shard of a multi-process plane (requires -peers)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated shard addresses of the whole plane, in placement order")
 	flag.Parse()
+
+	if o.shards < 0 {
+		log.Fatalf("-shards %d: want a positive shard count", o.shards)
+	}
+	// -shards 1 still runs the sharded layout (state under shard-0, ring
+	// service mounted), so asking for shards always yields the sharded
+	// state layout and membership service rather than silently falling
+	// back to the legacy single-container paths. (Changing the shard
+	// count of an EXISTING state dir re-homes data without migrating
+	// them; redistribute through a client before growing a plane.)
+	if o.shards >= 1 {
+		if err := runShardedPlane(o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg, cleanup, err := buildConfig(o)
 	if err != nil {
@@ -61,7 +99,15 @@ func main() {
 	}
 	defer c.Close()
 
-	fmt.Printf("bitdew-service listening\n")
+	if peers, self, err := shardMembership(o); err != nil {
+		log.Fatal(err)
+	} else if peers != nil {
+		runtime.MountMembership(c.Mux, self, peers)
+		fmt.Printf("bitdew-service shard %d of %d listening\n", self, len(peers))
+		fmt.Printf("  membership:        %s\n", strings.Join(peers, ","))
+	} else {
+		fmt.Printf("bitdew-service listening\n")
+	}
 	fmt.Printf("  rpc (dc/dr/dt/ds): %s\n", c.Addr())
 	if o.stateDir != "" {
 		fmt.Printf("  state:             %s (restartable)\n", o.stateDir)
@@ -76,10 +122,87 @@ func main() {
 		fmt.Printf("  swarm tracker:     %s\n", c.Tracker.Addr())
 	}
 
+	awaitSignal()
+}
+
+func awaitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("shutting down")
+}
+
+// shardMembership resolves the -shard-id/-peers pair into the membership
+// table ("" peers with no shard-id means an unsharded host).
+func shardMembership(o options) ([]string, int, error) {
+	if o.shardID < 0 && o.peers == "" {
+		return nil, 0, nil
+	}
+	if o.shardID < 0 || o.peers == "" {
+		return nil, 0, fmt.Errorf("-shard-id and -peers go together")
+	}
+	peers := core.ParseMembership(o.peers)
+	if o.shardID >= len(peers) {
+		return nil, 0, fmt.Errorf("-shard-id %d out of range for %d peers", o.shardID, len(peers))
+	}
+	return peers, o.shardID, nil
+}
+
+// shardAddrs derives the N listen addresses of a single-process plane from
+// the base address: same host, consecutive ports.
+func shardAddrs(base string, n int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: port: %w", base, err)
+	}
+	if port == 0 {
+		return nil, nil // let every shard pick its own port
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return addrs, nil
+}
+
+// runShardedPlane serves a whole N-shard plane from this process.
+func runShardedPlane(o options) error {
+	if o.walPath != "" || o.dataDir != "" {
+		return fmt.Errorf("-shards manages per-shard state; use -state-dir, not -wal/-datadir")
+	}
+	if o.shardID >= 0 || o.peers != "" {
+		return fmt.Errorf("-shards runs the whole plane; -shard-id/-peers are for one-shard-per-process deployments")
+	}
+	addrs, err := shardAddrs(o.addr, o.shards)
+	if err != nil {
+		return err
+	}
+	plane, err := runtime.NewShardedContainer(runtime.ShardedConfig{
+		Shards:      o.shards,
+		Addrs:       addrs,
+		StateDir:    o.stateDir,
+		FTPThrottle: o.throttle,
+	})
+	if err != nil {
+		return fmt.Errorf("starting sharded plane: %v", err)
+	}
+	defer plane.Close()
+
+	fmt.Printf("bitdew-service sharded plane listening (%d shards)\n", plane.N())
+	fmt.Printf("  membership:        %s\n", strings.Join(plane.Addrs(), ","))
+	for i, addr := range plane.Addrs() {
+		fmt.Printf("  shard %d rpc:       %s\n", i, addr)
+	}
+	if o.stateDir != "" {
+		fmt.Printf("  state:             %s (per-shard, restartable)\n", o.stateDir)
+	}
+
+	awaitSignal()
+	return nil
 }
 
 // buildConfig turns CLI options into a container configuration. The

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	bitdew-worker -service 127.0.0.1:4567 -host worker-1 [-sync 1s] [-cachedir ./cache]
+//
+// Against a sharded service plane, pass every shard's address to -service
+// as a comma-separated list in membership order; the worker then
+// heartbeats every shard's scheduler and serves whatever each places on
+// it.
 package main
 
 import (
@@ -20,7 +25,7 @@ import (
 )
 
 func main() {
-	service := flag.String("service", "127.0.0.1:4567", "service host rpc address")
+	service := flag.String("service", "127.0.0.1:4567", "service rpc address(es); comma-separate a sharded plane's membership")
 	host := flag.String("host", "", "host identity (default: os hostname)")
 	syncPeriod := flag.Duration("sync", core.DefaultSyncPeriod, "scheduler pull period")
 	cacheDir := flag.String("cachedir", "", "directory for the local data cache (default: in-memory)")
@@ -36,11 +41,11 @@ func main() {
 		name = h
 	}
 
-	comms, err := core.Connect(*service)
+	set, err := core.ConnectSharded(core.ParseMembership(*service))
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *service, err)
 	}
-	defer comms.Close()
+	defer set.Close()
 
 	var backend repository.Backend
 	if *cacheDir != "" {
@@ -52,7 +57,7 @@ func main() {
 
 	node, err := core.NewNode(core.NodeConfig{
 		Host:        name,
-		Comms:       comms,
+		Shards:      set,
 		Backend:     backend,
 		SyncPeriod:  *syncPeriod,
 		Concurrency: *concurrency,

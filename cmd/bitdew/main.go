@@ -10,10 +10,18 @@
 //	bitdew -service HOST:PORT schedule <name> <attr-definition>
 //	bitdew -service HOST:PORT delete <name>
 //	bitdew -service HOST:PORT status
+//	bitdew -service HOST:PORT,HOST:PORT where <name>
+//	bitdew -service HOST:PORT ring
 //
 // Example:
 //
 //	bitdew put genome.tar.gz 'attr Genebase = { replica = -1, oob = bittorrent }'
+//
+// Against a sharded service plane, pass every shard's address to -service
+// as a comma-separated list in membership order (the same list the shards
+// were started with): data then route to their home shards exactly as the
+// runtime does. `where` prints a datum's home shard, `ring` prints the
+// membership table a shard serves.
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 
 	"bitdew/internal/attr"
 	"bitdew/internal/core"
+	"bitdew/internal/rpc"
+	"bitdew/internal/runtime"
 )
 
 func main() {
-	service := flag.String("service", "127.0.0.1:4567", "service host rpc address")
+	service := flag.String("service", "127.0.0.1:4567", "service rpc address(es); comma-separate a sharded plane's membership")
 	host := flag.String("host", "bitdew-cli", "client host identity")
 	flag.Parse()
 	args := flag.Args()
@@ -35,12 +45,21 @@ func main() {
 		usage()
 	}
 
-	comms, err := core.Connect(*service)
+	addrs := core.ParseMembership(*service)
+	if len(addrs) == 0 {
+		log.Fatalf("-service %q names no address", *service)
+	}
+	if args[0] == "ring" {
+		cmdRing(addrs[0])
+		return
+	}
+
+	set, err := core.ConnectSharded(addrs)
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *service, err)
 	}
-	defer comms.Close()
-	node, err := core.NewNode(core.NodeConfig{Host: *host, Comms: comms})
+	defer set.Close()
+	node, err := core.NewNode(core.NodeConfig{Host: *host, Shards: set})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,14 +78,50 @@ func main() {
 		cmdDelete(node, args[1:])
 	case "status":
 		cmdStatus(node)
+	case "where":
+		cmdWhere(node, set, addrs, args[1:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bitdew [-service addr] put|get|ls|schedule|delete|status ...")
+	fmt.Fprintln(os.Stderr, "usage: bitdew [-service addr[,addr...]] put|get|ls|schedule|delete|status|where|ring ...")
 	os.Exit(2)
+}
+
+// cmdWhere prints the home shard of a datum — the one service container
+// holding its catalog entry, locators, placements and permanent copy.
+func cmdWhere(node *core.Node, set *core.ShardSet, addrs []string, args []string) {
+	if len(args) != 1 {
+		log.Fatal("where: want <name>")
+	}
+	d, err := node.BitDew.SearchDataFirst(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	shard := set.ShardOf(d.UID)
+	fmt.Printf("%s %s shard %d of %d %s\n", d.Name, d.UID, shard, set.N(), addrs[shard])
+}
+
+// cmdRing fetches and prints the membership table one shard serves.
+func cmdRing(addr string) {
+	c, err := rpc.DialAuto(addr)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", addr, err)
+	}
+	defer c.Close()
+	table, err := runtime.Members(c)
+	if err != nil {
+		log.Fatalf("membership of %s: %v (is it part of a sharded plane?)", addr, err)
+	}
+	for i, a := range table.Addrs {
+		marker := " "
+		if i == table.Self {
+			marker = "*"
+		}
+		fmt.Printf("%s shard %d  %s\n", marker, i, a)
+	}
 }
 
 func cmdPut(node *core.Node, args []string) {

@@ -8,8 +8,12 @@
 //
 // With -service HOST:PORT it attaches to an external service host (start
 // one with cmd/bitdew-service) instead of starting services in-process —
-// the flow is otherwise identical. CI uses this to prove a -state-dir
-// service survives a restart with the quickstart's data intact.
+// the flow is otherwise identical. Comma-separate several addresses to
+// attach to a sharded service plane (bitdew-service -shards N, or one
+// -shard-id process per host); the program is unchanged, the client
+// routes the datum to its home shard. CI uses this to prove a -state-dir
+// service survives a restart with the quickstart's data intact, and that
+// a 2-shard plane keeps serving surviving data after losing a shard.
 package main
 
 import (
@@ -22,14 +26,16 @@ import (
 )
 
 func main() {
-	serviceAddr := flag.String("service", "", "external service host rpc address (default: start services in-process)")
+	serviceAddr := flag.String("service", "", "external service rpc address(es), comma-separated for a sharded plane (default: start services in-process)")
 	flag.Parse()
 
 	// connect yields fresh service connections for each node: direct
-	// in-process dispatch by default, TCP with -service.
-	var connect func() (*core.Comms, error)
+	// in-process dispatch by default, TCP with -service. Every connection
+	// is a ShardSet — over one service host it simply has one shard.
+	var connect func() (*core.ShardSet, error)
 	if *serviceAddr != "" {
-		connect = func() (*core.Comms, error) { return core.Connect(*serviceAddr) }
+		addrs := core.ParseMembership(*serviceAddr)
+		connect = func() (*core.ShardSet, error) { return core.ConnectSharded(addrs) }
 	} else {
 		// A service container bundles the four D* services (Data Catalog,
 		// Data Repository, Data Transfer, Data Scheduler) plus the transfer
@@ -39,17 +45,19 @@ func main() {
 			log.Fatal(err)
 		}
 		defer services.Close()
-		connect = func() (*core.Comms, error) { return core.ConnectLocal(services.Mux), nil }
+		connect = func() (*core.ShardSet, error) {
+			return core.NewShardSet(core.ConnectLocal(services.Mux)), nil
+		}
 	}
 
 	// The client node: attach, create a datum, put content.
-	clientComms, err := connect()
+	clientShards, err := connect()
 	if err != nil {
 		log.Fatal(err)
 	}
 	client, err := core.NewNode(core.NodeConfig{
-		Host:  "client",
-		Comms: clientComms,
+		Host:   "client",
+		Shards: clientShards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,13 +87,13 @@ func main() {
 	// scheduler assigns the datum, the transfer engine fetches it out-of-
 	// band, the MD5 is verified, and the copy event fires.
 	for i := 1; i <= 2; i++ {
-		workerComms, err := connect()
+		workerShards, err := connect()
 		if err != nil {
 			log.Fatal(err)
 		}
 		worker, err := core.NewNode(core.NodeConfig{
-			Host:  fmt.Sprintf("worker-%d", i),
-			Comms: workerComms,
+			Host:   fmt.Sprintf("worker-%d", i),
+			Shards: workerShards,
 		})
 		if err != nil {
 			log.Fatal(err)

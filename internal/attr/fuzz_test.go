@@ -1,0 +1,142 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseMalformedAndBoundary is the table of malformed and boundary
+// attribute definitions: each either parses to a pinned value or fails
+// with a pinned error fragment. It covers the edges the paper's listings
+// never show — out-of-range replicas, overflowing lifetimes, empty
+// affinities — which FuzzParse below then stresses generatively.
+func TestParseMalformedAndBoundary(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // "" = must parse
+		check   func(Attribute) bool
+	}{
+		// Replica boundaries. -1 is the broadcast sentinel, anything
+		// below is out of range.
+		{name: "replica broadcast", src: "attr a = { replica = -1 }",
+			check: func(a Attribute) bool { return a.Replica == ReplicaAll && a.WantsBroadcast() }},
+		{name: "replica negative beyond sentinel", src: "attr a = { replica = -2 }",
+			wantErr: "out of range"},
+		{name: "replica zero normalises via default", src: "attr a = { replica = 0 }",
+			check: func(a Attribute) bool { return a.Normalize().Replica == 1 }},
+		{name: "replica huge", src: "attr a = { replica = 1000000 }",
+			check: func(a Attribute) bool { return a.Replica == 1000000 }},
+		{name: "replica non-integer", src: "attr a = { replica = many }",
+			wantErr: "wants an integer"},
+
+		// Lifetime boundaries. Seconds convert to time.Duration; values
+		// the Duration cannot hold must error, not wrap around.
+		{name: "lifetime zero", src: "attr a = { abstime = 0 }",
+			check: func(a Attribute) bool { return a.LifetimeAbs == 0 && !a.HasLifetime() }},
+		{name: "lifetime max representable", src: "attr a = { abstime = 9223372036 }",
+			check: func(a Attribute) bool { return a.LifetimeAbs == 9223372036*time.Second }},
+		{name: "lifetime huge overflows", src: "attr a = { abstime = 9223372037 }",
+			wantErr: "overflows"},
+		{name: "lifetime absurd overflows", src: "attr a = { lifetime = 99999999999999999 }",
+			wantErr: "overflows"},
+		{name: "lifetime negative", src: "attr a = { abstime = -1 }",
+			wantErr: "negative lifetime"},
+		{name: "lifetime relative by name", src: "attr a = { lifetime = Collector }",
+			check: func(a Attribute) bool { return a.LifetimeRel == "Collector" && a.LifetimeAbs == 0 }},
+
+		// Affinity boundaries. An empty affinity means "no placement
+		// dependency" — it must parse and behave like no affinity at all;
+		// self-affinity is a definition error.
+		{name: "affinity empty", src: `attr a = { affinity = "" }`,
+			check: func(a Attribute) bool { return a.Affinity == "" }},
+		{name: "affinity self", src: `attr a = { affinity = "a" }`,
+			wantErr: "affinity to itself"},
+		{name: "affinity other", src: `attr a = { affinity = "base" }`,
+			check: func(a Attribute) bool { return a.Affinity == "base" }},
+
+		// Structural malformations.
+		{name: "empty input", src: "", wantErr: "expected keyword"},
+		{name: "missing name", src: "attr = { }", wantErr: ""},
+		{name: "unterminated body", src: "attr a = { replica = 1", wantErr: "unterminated"},
+		{name: "missing value", src: "attr a = { replica = }", wantErr: ""},
+		{name: "unterminated string", src: `attr a = { affinity = "x }`, wantErr: "unterminated string"},
+		{name: "unknown key", src: "attr a = { color = red }", wantErr: "unknown attribute key"},
+		{name: "trailing garbage", src: "attr a = { } nonsense {", wantErr: ""},
+		{name: "boolean for integer key", src: "attr a = { replica = true }", wantErr: "wants an integer"},
+		{name: "integer for boolean key", src: "attr a = { pinned = 3 }", wantErr: "wants a boolean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := Parse(tc.src)
+			if tc.wantErr == "" && tc.check == nil {
+				// Error expected but its message is not pinned.
+				if err == nil {
+					t.Fatalf("Parse(%q) = %+v, want error", tc.src, a)
+				}
+				return
+			}
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Parse(%q) = %+v, want error containing %q", tc.src, a, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Parse(%q) error %q, want it to contain %q", tc.src, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			if !tc.check(a) {
+				t.Fatalf("Parse(%q) = %+v fails its check", tc.src, a)
+			}
+		})
+	}
+}
+
+// FuzzParse stresses the attribute-language parser: no input may panic it,
+// and every input it ACCEPTS must satisfy the language's own contracts —
+// the attribute validates, and its String rendering round-trips through
+// Parse to the same (normalized) attribute.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"attr update = { replica = -1, oob = bittorrent, abstime = 43200 }",
+		`attribute Sequence = { fault tolerance = true, protocol = "http", lifetime = Collector, replication = 2 }`,
+		"Collector attribute { pinned = yes }",
+		"attr a = { }",
+		"attr a = { replica = 0 }",
+		`attr a = { affinity = "" }`,
+		"attr a = { abstime = 9223372036854775807 }",
+		"attr a = { lifetime = -9223372036854775808 }",
+		"attr x = { replica = 1, replica = -1 }",
+		"attr a = { fault tolerance = off ; ttl = 1 }",
+		"attr \xff = { }",
+		"attr a = { oob = 'FTP' }",
+		// Regression: a non-printable byte in a string value must survive
+		// the %q-escaped rendering (the parser decodes Go-style escapes).
+		"Attr o = {lifetime=\xfa}",
+		`attr a = { affinity = "with \"escaped\" quotes" }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return // rejected input: only the absence of panics matters
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid attribute %+v: %v", src, a, verr)
+		}
+		rendered := a.String()
+		b, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %+v, but re-parsing its rendering %q failed: %v", src, a, rendered, err)
+		}
+		if a.Normalize() != b.Normalize() {
+			t.Fatalf("round trip drift:\n  src      %q\n  parsed   %+v\n  rendered %q\n  reparsed %+v", src, a, rendered, b)
+		}
+	})
+}

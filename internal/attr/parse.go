@@ -201,6 +201,9 @@ func (p *parser) parseValue() (value, error) {
 		quote := p.advance()
 		start := p.pos
 		for !p.eof() && p.peek() != quote {
+			if p.peek() == '\\' && p.pos+1 < len(p.src) {
+				p.pos++ // keep an escaped quote (or any escape) in the token
+			}
 			p.pos++
 		}
 		if p.eof() {
@@ -208,6 +211,15 @@ func (p *parser) parseValue() (value, error) {
 		}
 		s := p.src[start:p.pos]
 		p.pos++
+		// Strings rendered by Attribute.String carry Go-style escapes
+		// (%q); decode them so values round-trip. A backslash sequence
+		// that is not a valid escape stays literal — the grammar is
+		// tolerant of hand-written definitions.
+		if strings.ContainsRune(s, '\\') {
+			if un, err := strconv.Unquote(`"` + s + `"`); err == nil {
+				s = un
+			}
+		}
 		return value{s: s}, nil
 	}
 	// Bare token: possibly a signed integer, a boolean, or a word.
@@ -231,6 +243,24 @@ func (p *parser) parseValue() (value, error) {
 	return value{s: w}, nil
 }
 
+// maxLifetimeSeconds is the largest lifetime expressible without the
+// seconds-to-Duration conversion overflowing int64 nanoseconds (~292
+// years). Larger values are a definition error, not a silent wrap-around
+// to a bogus (possibly negative) lifetime.
+const maxLifetimeSeconds = int64(1<<63-1) / int64(time.Second)
+
+// secondsToDuration converts a lifetime in seconds, rejecting values the
+// Duration type cannot represent.
+func secondsToDuration(name string, secs int64) (time.Duration, error) {
+	if secs < 0 {
+		return 0, fmt.Errorf("attr %s: negative lifetime %d", name, secs)
+	}
+	if secs > maxLifetimeSeconds {
+		return 0, fmt.Errorf("attr %s: lifetime %d s overflows (max %d s, ~292 years)", name, secs, maxLifetimeSeconds)
+	}
+	return time.Duration(secs) * time.Second, nil
+}
+
 func applyPair(a *Attribute, key string, v value) error {
 	switch key {
 	case "replica", "replicat", "replication", "replicas":
@@ -247,12 +277,20 @@ func applyPair(a *Attribute, key string, v value) error {
 		if !v.isInt {
 			return fmt.Errorf("attr %s: abstime wants seconds as an integer, got %q", a.Name, v.s)
 		}
-		a.LifetimeAbs = time.Duration(v.i) * time.Second
+		d, err := secondsToDuration(a.Name, v.i)
+		if err != nil {
+			return err
+		}
+		a.LifetimeAbs = d
 	case "lifetime", "reltime":
 		// An integer is an absolute duration in seconds; a name is a
 		// relative lifetime bound to another datum.
 		if v.isInt {
-			a.LifetimeAbs = time.Duration(v.i) * time.Second
+			d, err := secondsToDuration(a.Name, v.i)
+			if err != nil {
+				return err
+			}
+			a.LifetimeAbs = d
 		} else {
 			a.LifetimeRel = v.s
 		}

@@ -29,9 +29,13 @@ type EventHandler struct {
 
 // ActiveData is the scheduling-and-events API: it manages data attributes,
 // interfaces with the Data Scheduler, and delivers life-cycle callbacks.
+// Over a sharded service plane each datum is scheduled on its home shard's
+// scheduler; note that affinity and relative-lifetime references resolve
+// within one shard, so data linked by them should share a home shard (see
+// DESIGN.md, "Sharded service plane").
 type ActiveData struct {
-	comms *Comms
-	node  *Node // back-reference for cache bookkeeping; nil off-node
+	set  *ShardSet
+	node *Node // back-reference for cache bookkeeping; nil off-node
 
 	mu       sync.Mutex
 	handlers []EventHandler
@@ -40,7 +44,12 @@ type ActiveData struct {
 // NewActiveData builds the API over service connections. Attach it to a
 // Node (via Node.ActiveData) to receive callbacks.
 func NewActiveData(comms *Comms) *ActiveData {
-	return &ActiveData{comms: comms}
+	return NewActiveDataSharded(shardSetOf(comms))
+}
+
+// NewActiveDataSharded is NewActiveData over a sharded service plane.
+func NewActiveDataSharded(set *ShardSet) *ActiveData {
+	return &ActiveData{set: set}
 }
 
 // CreateAttribute parses an attribute definition in the paper's language,
@@ -50,31 +59,38 @@ func (a *ActiveData) CreateAttribute(spec string) (attr.Attribute, error) {
 	return attr.Parse(spec)
 }
 
-// Schedule associates the datum with an attribute and orders the Data
-// Scheduler to place it according to Algorithm 1.
+// Schedule associates the datum with an attribute and orders its home
+// shard's Data Scheduler to place it according to Algorithm 1.
 func (a *ActiveData) Schedule(d data.Data, at attr.Attribute) error {
-	return a.comms.DS.Schedule(d, at)
+	return a.set.For(d.UID).DS.Schedule(d, at)
 }
 
-// ScheduleAll schedules many data in one round trip: the N Schedule calls
-// travel in a single rpc batch frame. as must either match ds in length or
-// hold a single attribute applied to every datum.
+// ScheduleAll schedules many data in one round trip per home shard: the
+// Schedule calls are partitioned onto their data's shards and each shard's
+// calls travel in a single rpc batch frame, the frames in parallel. as must
+// either match ds in length or hold a single attribute applied to every
+// datum.
 func (a *ActiveData) ScheduleAll(ds []data.Data, as []attr.Attribute) error {
 	if len(as) != len(ds) && len(as) != 1 {
 		return fmt.Errorf("core: scheduleAll: %d data but %d attributes", len(ds), len(as))
 	}
-	calls := make([]*rpc.Call, len(ds))
-	for i, d := range ds {
-		at := as[0]
+	attrAt := func(i int) attr.Attribute {
 		if len(as) == len(ds) {
-			at = as[i]
+			return as[i]
 		}
-		calls[i] = a.comms.DS.ScheduleCall(d, at)
+		return as[0]
 	}
-	if err := a.comms.CallBatch(calls); err != nil {
-		return err
-	}
-	return rpc.FirstError(calls)
+	groups := a.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+	return a.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+		calls := make([]*rpc.Call, len(idx))
+		for j, i := range idx {
+			calls[j] = c.DS.ScheduleCall(ds[i], attrAt(i))
+		}
+		if err := c.CallBatch(calls); err != nil {
+			return err
+		}
+		return rpc.FirstError(calls)
+	})
 }
 
 // Pin schedules the datum and declares it owned by this node: the
@@ -91,7 +107,7 @@ func (a *ActiveData) Pin(d data.Data, at attr.Attribute) error {
 
 // PinAs pins the datum for an explicit host identity.
 func (a *ActiveData) PinAs(d data.Data, at attr.Attribute, host string) error {
-	if err := a.comms.DS.Pin(d, at, host); err != nil {
+	if err := a.set.For(d.UID).DS.Pin(d, at, host); err != nil {
 		return err
 	}
 	if a.node != nil && a.node.Host == host {
@@ -100,10 +116,10 @@ func (a *ActiveData) PinAs(d data.Data, at attr.Attribute, host string) error {
 	return nil
 }
 
-// Unschedule withdraws the datum from the scheduler; data bound to it by
-// relative lifetime become obsolete.
+// Unschedule withdraws the datum from its home shard's scheduler; data
+// bound to it by relative lifetime become obsolete.
 func (a *ActiveData) Unschedule(d data.Data) error {
-	return a.comms.DS.Unschedule(d.UID)
+	return a.set.For(d.UID).DS.Unschedule(d.UID)
 }
 
 // AddCallback installs a life-cycle event handler (Listing 1's

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"bitdew/internal/data"
@@ -21,17 +22,29 @@ const UploadProtocol = "http"
 // system and virtualizes them as a unique space where data are stored
 // (the Tuple-Space heritage the paper cites). Create a slot, put content
 // into it, get content out of it, search by name.
+//
+// The API is shard-aware: over a sharded service plane (ConnectSharded)
+// every datum homes on one shard by consistent hash of its UID, single-datum
+// calls route to that shard, and the batch calls (PutAll, FetchAll,
+// CreateDataBatch) partition their inputs per shard and run the per-shard
+// frames in parallel. Over a single service host the routing degenerates to
+// the plain batch-first path.
 type BitDew struct {
-	comms   *Comms
+	set     *ShardSet
 	backend repository.Backend
 	engine  *transfer.Engine
 	host    string
 }
 
-// NewBitDew builds the API over service connections, local storage and the
-// node's transfer engine.
+// NewBitDew builds the API over one service connection, local storage and
+// the node's transfer engine.
 func NewBitDew(comms *Comms, backend repository.Backend, engine *transfer.Engine, host string) *BitDew {
-	return &BitDew{comms: comms, backend: backend, engine: engine, host: host}
+	return NewBitDewSharded(shardSetOf(comms), backend, engine, host)
+}
+
+// NewBitDewSharded is NewBitDew over a sharded service plane.
+func NewBitDewSharded(set *ShardSet, backend repository.Backend, engine *transfer.Engine, host string) *BitDew {
+	return &BitDew{set: set, backend: backend, engine: engine, host: host}
 }
 
 // CreateData creates an empty slot in the data space. It is the single-slot
@@ -45,8 +58,12 @@ func (b *BitDew) CreateData(name string) (*data.Data, error) {
 }
 
 // CreateDataBatch creates one empty slot per name in a single catalog round
-// trip. It is the batch-first entry point for masters creating many slots
-// (one RegisterBatch call instead of N Registers).
+// trip per shard: the new UIDs are partitioned onto their home shards and
+// each shard gets one RegisterBatch, the frames running in parallel. On a
+// partial failure the registrations that DID land are deleted again
+// (best-effort) before the error returns — a retry mints fresh UIDs, so
+// half-registered slots from a failed batch must not linger in the
+// surviving shards' catalogs as unreachable orphans.
 func (b *BitDew) CreateDataBatch(names []string) ([]*data.Data, error) {
 	ds := make([]*data.Data, len(names))
 	regs := make([]data.Data, len(names))
@@ -54,8 +71,32 @@ func (b *BitDew) CreateDataBatch(names []string) ([]*data.Data, error) {
 		ds[i] = data.New(name)
 		regs[i] = *ds[i]
 	}
-	if err := b.comms.DC.RegisterBatch(regs); err != nil {
-		return nil, fmt.Errorf("bitdew: createData batch of %d: %w", len(names), err)
+	groups := b.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+	var mu sync.Mutex
+	registered := make(map[int][]int) // shard -> successfully registered indexes
+	err := b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+		part := make([]data.Data, len(idx))
+		for j, i := range idx {
+			part[j] = regs[i]
+		}
+		if err := c.DC.RegisterBatch(part); err != nil {
+			return fmt.Errorf("bitdew: createData batch of %d on shard %d: %w", len(part), shard, err)
+		}
+		mu.Lock()
+		registered[shard] = idx
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		for shard, idx := range registered {
+			c := b.set.Shard(shard)
+			calls := make([]*rpc.Call, len(idx))
+			for j, i := range idx {
+				calls[j] = c.DC.DeleteCall(ds[i].UID)
+			}
+			c.CallBatch(calls) // best-effort rollback
+		}
+		return nil, err
 	}
 	return ds, nil
 }
@@ -67,7 +108,7 @@ func (b *BitDew) CreateDataFromBytes(name string, content []byte) (*data.Data, e
 	if err := b.backend.Put(string(d.UID), content); err != nil {
 		return nil, err
 	}
-	if err := b.comms.DC.Register(*d); err != nil {
+	if err := b.set.For(d.UID).DC.Register(*d); err != nil {
 		return nil, fmt.Errorf("bitdew: createData %s: %w", name, err)
 	}
 	return d, nil
@@ -86,7 +127,7 @@ func (b *BitDew) CreateDataFromFile(path string) (*data.Data, error) {
 	if err := b.backend.Put(string(d.UID), content); err != nil {
 		return nil, err
 	}
-	if err := b.comms.DC.Register(*d); err != nil {
+	if err := b.set.For(d.UID).DC.Register(*d); err != nil {
 		return nil, fmt.Errorf("bitdew: createData %s: %w", path, err)
 	}
 	return d, nil
@@ -97,17 +138,18 @@ func (b *BitDew) CreateDataFromFile(path string) (*data.Data, error) {
 // locator. It blocks until the permanent copy is safe, mirroring
 // bitdew.put(data, file). It is the single-datum wrapper over PutAll;
 // prefer PutAll when several data move together — it collapses the 4
-// sequential service round trips per datum into 2 for the whole batch.
+// sequential service round trips per datum into 2 per shard for the whole
+// batch.
 func (b *BitDew) Put(d *data.Data, content []byte) error {
 	return b.PutAll([]*data.Data{d}, [][]byte{content})
 }
 
-// PutAll is the batch-first Put: it registers all N data and obtains their
-// repository locators in ONE multi-call round trip (RegisterBatch +
-// LocatorBatch share a frame), uploads the contents concurrently through
-// the transfer engine, and publishes all locators in one AddLocatorBatch
-// call — 2 round trips and N out-of-band uploads, versus 4·N round trips
-// for sequential Puts. Each datum's meta-information is updated in place.
+// PutAll is the batch-first Put: the data are partitioned onto their home
+// shards and each shard runs the two-round-trip batch protocol
+// (RegisterBatch + LocatorBatch in one frame, uploads out-of-band, one
+// AddLocatorBatch) — the per-shard frames in parallel, so N shards see
+// N-way concurrent distribution of one wave. Each datum's meta-information
+// is updated in place.
 func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
 	if len(ds) != len(contents) {
 		return fmt.Errorf("bitdew: putAll: %d data but %d contents", len(ds), len(contents))
@@ -115,13 +157,27 @@ func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
 	if len(ds) == 0 {
 		return nil
 	}
-	regs := make([]data.Data, len(ds))
-	uids := make([]data.UID, len(ds))
 	for i, d := range ds {
 		*d = *d.WithContent(contents[i])
 		if err := b.backend.Put(string(d.UID), contents[i]); err != nil {
 			return err
 		}
+	}
+	groups := b.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+	return b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+		part := make([]*data.Data, len(idx))
+		for j, i := range idx {
+			part[j] = ds[i]
+		}
+		return b.putShard(c, part)
+	})
+}
+
+// putShard runs the batch Put protocol for data homed on one shard.
+func (b *BitDew) putShard(c *Comms, ds []*data.Data) error {
+	regs := make([]data.Data, len(ds))
+	uids := make([]data.UID, len(ds))
+	for i, d := range ds {
 		regs[i] = *d
 		uids[i] = d.UID
 	}
@@ -130,10 +186,10 @@ func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
 	// batched across the dc and dr services in one frame.
 	var locs []data.Locator
 	calls := []*rpc.Call{
-		b.comms.DC.RegisterBatchCall(regs),
-		b.comms.DR.LocatorBatchCall(uids, UploadProtocol, &locs),
+		c.DC.RegisterBatchCall(regs),
+		c.DR.LocatorBatchCall(uids, UploadProtocol, &locs),
 	}
-	if err := b.comms.CallBatch(calls); err != nil {
+	if err := c.CallBatch(calls); err != nil {
 		return fmt.Errorf("bitdew: putAll: %w", err)
 	}
 	if err := calls[0].Err; err != nil {
@@ -166,7 +222,7 @@ func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
 	}
 
 	// Round trip 2: publish every locator at once.
-	if err := b.comms.DC.AddLocatorBatch(locs); err != nil {
+	if err := c.DC.AddLocatorBatch(locs); err != nil {
 		return fmt.Errorf("bitdew: putAll: publish locators: %w", err)
 	}
 	return nil
@@ -210,56 +266,42 @@ func (b *BitDew) Fetch(d data.Data, protocol string) error {
 	return b.FetchAll([]data.Data{d}, protocol)
 }
 
-// FetchAll downloads many data into local storage in one locator round
-// trip: the catalog's locator lists and the repository's fallback locators
-// for ALL data are gathered in a single multi-call frame, then the
-// downloads run concurrently through the engine, each datum falling back
-// through its candidate locators exactly as a sequential Fetch would.
+// FetchAll downloads many data into local storage. Candidate locators come
+// from the client-side locator cache when a previous lookup filled it —
+// those data never touch the wire — and otherwise from one locator round
+// trip per home shard (the catalog's locator lists and the repository's
+// fallback locators share a multi-call frame), the per-shard frames in
+// parallel. Downloads then run concurrently through the engine, each datum
+// falling back through its candidate locators; a datum whose *cached*
+// candidates all fail retries once with fresh locators from the wire, so a
+// stale cache heals instead of stranding the datum.
 func (b *BitDew) FetchAll(ds []data.Data, protocol string) error {
 	if len(ds) == 0 {
 		return nil
 	}
-	uids := make([]data.UID, len(ds))
+	candidates := make([][]data.Locator, len(ds))
+	fromCache := make([]bool, len(ds))
+	var miss []int
 	for i, d := range ds {
-		uids[i] = d.UID
-	}
-
-	// One frame: catalog locator lists + repository fallbacks for all data.
-	var catLocs [][]data.Locator
-	var repLocs []data.Locator
-	calls := []*rpc.Call{
-		b.comms.DC.LocatorsBatchCall(uids, &catLocs),
-		b.comms.DR.LocatorAnyBatchCall(uids, protocol, &repLocs),
-	}
-	if err := b.comms.CallBatch(calls); err != nil {
-		return fmt.Errorf("bitdew: fetchAll: %w", err)
-	}
-	// Either source may fail independently (a stale catalog, a repository
-	// with no endpoints); a datum only errors when it ends up with no
-	// candidate at all, matching the sequential path's best-effort merge.
-	candidates := func(i int) []data.Locator {
-		var out []data.Locator
-		seen := map[data.Locator]bool{}
-		if calls[0].Err == nil && i < len(catLocs) {
-			for _, l := range catLocs[i] {
-				if protocol == "" || l.Protocol == protocol {
-					out = append(out, l)
-					seen[l] = true
-				}
-			}
+		if locs, ok := b.set.cache.get(d.UID, protocol); ok {
+			candidates[i] = locs
+			fromCache[i] = true
+			continue
 		}
-		if calls[1].Err == nil && i < len(repLocs) {
-			if l := repLocs[i]; l != (data.Locator{}) && !seen[l] {
-				out = append(out, l)
-			}
-		}
-		return out
+		miss = append(miss, i)
 	}
-
 	errs := make([]error, len(ds))
+	b.lookupLocators(ds, protocol, miss, candidates, errs)
+
 	var wg sync.WaitGroup
 	for i, d := range ds {
-		locs := candidates(i)
+		if errs[i] != nil {
+			// The datum's home shard refused the lookup frame (e.g. the
+			// shard is down); only ITS data fail — the rest of the batch
+			// still fetches.
+			continue
+		}
+		locs := candidates[i]
 		if len(locs) == 0 {
 			errs[i] = fmt.Errorf("bitdew: no locator for %s", d.Name)
 			continue
@@ -267,19 +309,92 @@ func (b *BitDew) FetchAll(ds []data.Data, protocol string) error {
 		wg.Add(1)
 		go func(i int, d data.Data, locs []data.Locator) {
 			defer wg.Done()
-			var lastErr error
-			for _, loc := range locs {
-				if err := b.engine.Download(d, loc).Wait(); err != nil {
-					lastErr = err
-					continue
+			err := b.download(d, locs)
+			if err != nil && fromCache[i] {
+				// The cached locators all failed: drop them and retry once
+				// against fresh ones from the service plane.
+				b.set.cache.invalidate(d.UID)
+				fresh := make([][]data.Locator, 1)
+				ferr := make([]error, 1)
+				b.lookupLocators([]data.Data{d}, protocol, []int{0}, fresh, ferr)
+				if ferr[0] == nil && len(fresh[0]) > 0 {
+					err = b.download(d, fresh[0])
 				}
-				return
 			}
-			errs[i] = fmt.Errorf("bitdew: fetching %s: all %d locators failed: %w", d.Name, len(locs), lastErr)
+			errs[i] = err
 		}(i, d, locs)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// lookupLocators fills candidates[i] for every i in miss with the merged
+// catalog + repository locators of ds[i], one multi-call frame per home
+// shard (frames in parallel), feeding the results into the locator cache.
+// A shard whose frame fails outright marks only its own data's errs slots
+// — shards fail independently, exactly like the heartbeat fan-out.
+func (b *BitDew) lookupLocators(ds []data.Data, protocol string, miss []int, candidates [][]data.Locator, errs []error) {
+	if len(miss) == 0 {
+		return
+	}
+	groups := b.set.partition(len(miss), func(j int) data.UID { return ds[miss[j]].UID })
+	b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+		uids := make([]data.UID, len(idx))
+		for k, j := range idx {
+			uids[k] = ds[miss[j]].UID
+		}
+
+		// One frame: catalog locator lists + repository fallbacks.
+		var catLocs [][]data.Locator
+		var repLocs []data.Locator
+		calls := []*rpc.Call{
+			c.DC.LocatorsBatchCall(uids, &catLocs),
+			c.DR.LocatorAnyBatchCall(uids, protocol, &repLocs),
+		}
+		if err := c.CallBatch(calls); err != nil {
+			for _, j := range idx {
+				errs[miss[j]] = fmt.Errorf("bitdew: fetch %s: shard %d: %w", ds[miss[j]].Name, shard, err)
+			}
+			return nil
+		}
+		// Either source may fail independently (a stale catalog, a repository
+		// with no endpoints); a datum only errors when it ends up with no
+		// candidate at all, matching the sequential path's best-effort merge.
+		for k, j := range idx {
+			var out []data.Locator
+			seen := map[data.Locator]bool{}
+			if calls[0].Err == nil && k < len(catLocs) {
+				for _, l := range catLocs[k] {
+					if protocol == "" || l.Protocol == protocol {
+						out = append(out, l)
+						seen[l] = true
+					}
+				}
+			}
+			if calls[1].Err == nil && k < len(repLocs) {
+				if l := repLocs[k]; l != (data.Locator{}) && !seen[l] {
+					out = append(out, l)
+				}
+			}
+			i := miss[j]
+			candidates[i] = out
+			b.set.cache.put(ds[i].UID, protocol, out)
+		}
+		return nil
+	})
+}
+
+// download fetches d through the first working candidate locator.
+func (b *BitDew) download(d data.Data, locs []data.Locator) error {
+	var lastErr error
+	for _, loc := range locs {
+		if err := b.engine.Download(d, loc).Wait(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("bitdew: fetching %s: all %d locators failed: %w", d.Name, len(locs), lastErr)
 }
 
 // GetFile is a blocking Get writing the content to a local file.
@@ -294,11 +409,17 @@ func (b *BitDew) GetFile(d data.Data, path string) error {
 // locatorsFor lists every candidate source for d, in preference order:
 // catalog-registered locators matching the requested protocol, then a
 // repository locator (which also covers restarted repositories whose
-// endpoints moved).
+// endpoints moved). Both queries go to d's home shard. It deliberately
+// does NOT read the locator cache: its caller (Get) hands out a single
+// transfer handle with no fallback chain, so it must see live endpoints
+// every time — a cached-but-dead locator would strand the datum with
+// nothing downstream to invalidate and retry. The cached fast path with
+// stale-healing lives in FetchAll; locatorsFor only FEEDS the cache.
 func (b *BitDew) locatorsFor(d data.Data, protocol string) ([]data.Locator, error) {
+	c := b.set.For(d.UID)
 	var out []data.Locator
 	seen := map[data.Locator]bool{}
-	if locs, err := b.comms.DC.Locators(d.UID); err == nil {
+	if locs, err := c.DC.Locators(d.UID); err == nil {
 		for _, l := range locs {
 			if protocol == "" || l.Protocol == protocol {
 				out = append(out, l)
@@ -306,12 +427,13 @@ func (b *BitDew) locatorsFor(d data.Data, protocol string) ([]data.Locator, erro
 			}
 		}
 	}
-	if loc, err := b.comms.DR.LocatorAny(d.UID, protocol); err == nil && !seen[loc] {
+	if loc, err := c.DR.LocatorAny(d.UID, protocol); err == nil && !seen[loc] {
 		out = append(out, loc)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("bitdew: no locator for %s", d.Name)
 	}
+	b.set.cache.put(d.UID, protocol, out)
 	return out, nil
 }
 
@@ -325,19 +447,63 @@ func (b *BitDew) locatorFor(d data.Data, protocol string) (data.Locator, error) 
 }
 
 // SearchData finds data in the catalog by name; when several match, they
-// are returned in stable UID order.
+// are returned in stable UID order. Over a sharded plane the query fans out
+// to every shard's catalog and the answers merge.
 func (b *BitDew) SearchData(name string) ([]data.Data, error) {
-	return b.comms.DC.SearchByName(name)
+	return b.fanOutSearch(func(c *Comms) ([]data.Data, error) {
+		return c.DC.SearchByName(name)
+	})
 }
 
-// AllData lists every datum registered in the catalog.
+// AllData lists every datum registered in the catalog (all shards).
 func (b *BitDew) AllData() ([]data.Data, error) {
-	return b.comms.DC.All()
+	return b.fanOutSearch(func(c *Comms) ([]data.Data, error) {
+		return c.DC.All()
+	})
+}
+
+// fanOutSearch runs a catalog query against every shard in parallel and
+// merges the answers in stable UID order. A datum lives on exactly one
+// shard, so the merge never deduplicates. Shards fail independently here
+// too: while the plane is degraded the merged answer is the SURVIVORS'
+// view — their data stay searchable and fetchable, which is the whole
+// point of the blast-radius design — and the query only errors when every
+// shard refused it.
+func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.Data, error) {
+	if b.set.N() == 1 {
+		return query(b.set.Shard(0))
+	}
+	parts := make([][]data.Data, b.set.N())
+	errs := make([]error, b.set.N())
+	var wg sync.WaitGroup
+	for i, c := range b.set.Shards() {
+		wg.Add(1)
+		go func(i int, c *Comms) {
+			defer wg.Done()
+			parts[i], errs[i] = query(c)
+		}(i, c)
+	}
+	wg.Wait()
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == b.set.N() {
+		return nil, errors.Join(errs...)
+	}
+	var out []data.Data
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	return out, nil
 }
 
 // SearchDataFirst returns the single match for name, erroring on none.
 func (b *BitDew) SearchDataFirst(name string) (data.Data, error) {
-	found, err := b.comms.DC.SearchByName(name)
+	found, err := b.SearchData(name)
 	if err != nil {
 		return data.Data{}, err
 	}
@@ -348,19 +514,21 @@ func (b *BitDew) SearchDataFirst(name string) (data.Data, error) {
 }
 
 // DeleteData removes the datum everywhere the node can reach: catalog
-// (with locators), scheduler, repository and local cache. Data holding a
-// relative lifetime on it will expire at their owners' next sync. The
-// catalog delete goes first and gates the rest — if it fails, the datum
-// stays fully intact for a retry rather than lingering in the catalog with
-// its content gone. The two best-effort deletions (scheduler, repository)
-// then share one multi-call round trip.
+// (with locators), scheduler, repository and local cache — all on the
+// datum's home shard. Data holding a relative lifetime on it will expire at
+// their owners' next sync. The catalog delete goes first and gates the rest
+// — if it fails, the datum stays fully intact for a retry rather than
+// lingering in the catalog with its content gone. The two best-effort
+// deletions (scheduler, repository) then share one multi-call round trip.
 func (b *BitDew) DeleteData(d data.Data) error {
-	if err := b.comms.DC.Delete(d.UID); err != nil {
+	c := b.set.For(d.UID)
+	if err := c.DC.Delete(d.UID); err != nil {
 		return err
 	}
-	b.comms.CallBatch([]*rpc.Call{
-		b.comms.DS.UnscheduleCall(d.UID), // best-effort: may not be scheduled
-		b.comms.DR.DeleteCall(d.UID),     // best-effort: may hold no content
+	b.set.cache.invalidate(d.UID)
+	c.CallBatch([]*rpc.Call{
+		c.DS.UnscheduleCall(d.UID), // best-effort: may not be scheduled
+		c.DR.DeleteCall(d.UID),     // best-effort: may hold no content
 	})
 	return b.backend.Delete(string(d.UID))
 }

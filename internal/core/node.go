@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,8 +21,13 @@ const DefaultSyncPeriod = time.Second
 type NodeConfig struct {
 	// Host is the node's identity towards the scheduler. Required.
 	Host string
-	// Comms are the service connections. Required.
+	// Comms are the service connections of a single-host service plane.
+	// Either Comms or Shards is required; Shards wins when both are set.
 	Comms *Comms
+	// Shards are the service connections of a sharded service plane
+	// (ConnectSharded): the node heartbeats every shard's scheduler and
+	// routes each datum's calls to its home shard.
+	Shards *ShardSet
 	// Backend is local storage (defaults to an in-memory backend, the
 	// reservoir cache).
 	Backend repository.Backend
@@ -44,7 +50,7 @@ type cacheEntry struct {
 type Node struct {
 	Host string
 
-	comms   *Comms
+	set     *ShardSet
 	backend repository.Backend
 	engine  *transfer.Engine
 
@@ -61,23 +67,31 @@ type Node struct {
 	lastErr    error
 	clientOnly bool
 	// syncMu serializes heartbeat rounds: the delta protocol is stateful
-	// (reported + syncEpoch must match the scheduler's session), so the
-	// periodic loop and manual SyncOnce/SyncWait callers must not
-	// interleave their reports. It is held only across the report, never
-	// across the drop/fetch apply phase or its callbacks.
+	// (each shard session's reported set + epoch must match that
+	// scheduler's view), so the periodic loop and manual SyncOnce/SyncWait
+	// callers must not interleave their reports. It is held only across
+	// the report, never across the drop/fetch apply phase or its callbacks.
 	syncMu sync.Mutex
-	// Delta-heartbeat state, guarded by syncMu (not mu): the cache set
-	// acknowledged by the scheduler at syncEpoch. Each heartbeat ships
-	// only the difference between the current set and `reported`, falling
-	// back to a full report when the scheduler demands a resync (restart,
-	// lost ack).
-	reported  map[data.UID]bool
-	syncEpoch uint64
-	hasEpoch  bool
+	// sessions holds the per-shard delta-heartbeat state, guarded by
+	// syncMu (not mu): for each shard, the subset of the cache homed there
+	// that the shard's scheduler acknowledged, at which epoch. Each
+	// heartbeat ships only the difference between the current per-shard
+	// set and its session's reported set, falling back to a full report
+	// when that scheduler demands a resync (restart, lost ack). Shards
+	// fail independently: a dead shard's heartbeat error never blocks the
+	// others' placements from applying.
+	sessions []shardSession
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// shardSession is one shard's delta-heartbeat state.
+type shardSession struct {
+	reported map[data.UID]bool
+	epoch    uint64
+	hasEpoch bool
 }
 
 // NewNode builds a volatile host from its configuration.
@@ -85,8 +99,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Host == "" {
 		return nil, fmt.Errorf("core: node needs a host identity")
 	}
-	if cfg.Comms == nil {
-		return nil, fmt.Errorf("core: node needs service connections")
+	set := cfg.Shards
+	if set == nil {
+		if cfg.Comms == nil {
+			return nil, fmt.Errorf("core: node needs service connections")
+		}
+		set = shardSetOf(cfg.Comms)
 	}
 	if cfg.Backend == nil {
 		cfg.Backend = repository.NewMemBackend()
@@ -94,19 +112,25 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.SyncPeriod <= 0 {
 		cfg.SyncPeriod = DefaultSyncPeriod
 	}
-	engine := transfer.NewEngine(cfg.Backend, cfg.Comms.DT, cfg.Host, cfg.Concurrency)
+	// The transfer engine reports each transfer to the DT service of the
+	// datum's home shard, co-locating monitoring with the rest of the
+	// datum's service state.
+	engine := transfer.NewEngineRouted(cfg.Backend, func(uid data.UID) *transfer.Client {
+		return set.For(uid).DT
+	}, cfg.Host, cfg.Concurrency)
 	n := &Node{
 		Host:       cfg.Host,
-		comms:      cfg.Comms,
+		set:        set,
 		backend:    cfg.Backend,
 		engine:     engine,
 		syncPeriod: cfg.SyncPeriod,
 		cache:      make(map[data.UID]cacheEntry),
 		inflight:   make(map[data.UID]bool),
+		sessions:   make([]shardSession, set.N()),
 		stop:       make(chan struct{}),
 	}
-	n.BitDew = NewBitDew(cfg.Comms, cfg.Backend, engine, cfg.Host)
-	n.ActiveData = NewActiveData(cfg.Comms)
+	n.BitDew = NewBitDewSharded(set, cfg.Backend, engine, cfg.Host)
+	n.ActiveData = NewActiveDataSharded(set)
 	n.ActiveData.node = n
 	n.Transfers = NewTransferManager(engine)
 	return n, nil
@@ -188,22 +212,22 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// SyncOnce performs one pull-model synchronization as a delta heartbeat:
-// report the adds and removes to the cache since the last acknowledged
-// epoch (Δ of Δk, not the full set), then apply the scheduler's answer. A
-// host with a quiescent 10k-datum cache therefore heartbeats with an empty
-// payload instead of reshipping 10k UIDs every period. When the scheduler
-// cannot apply the delta (restart, epoch mismatch) it answers Resync and
-// the node repeats the heartbeat as a full report. Downloads are started
-// asynchronously so heartbeats continue during long transfers; SyncWait
-// additionally blocks until they land.
+// SyncOnce performs one pull-model synchronization as a delta heartbeat to
+// every shard's scheduler: for each shard, report the adds and removes to
+// the shard-homed slice of the cache since that session's acknowledged
+// epoch (Δ of Δk, not the full set), then apply the merged answers. A host
+// with a quiescent 10k-datum cache therefore heartbeats with empty payloads
+// instead of reshipping 10k UIDs every period. When a scheduler cannot
+// apply its delta (restart, epoch mismatch) it answers Resync and the node
+// repeats that shard's heartbeat as a full report. Shards that answered are
+// applied even when others failed (the error still reports the failures),
+// so one dead shard never freezes placements on the survivors. Downloads
+// are started asynchronously so heartbeats continue during long transfers;
+// SyncWait additionally blocks until they land.
 func (n *Node) SyncOnce() error {
 	res, err := n.heartbeat()
-	if err != nil {
-		return err
-	}
 
-	// Apply the answer outside syncMu, as the lock-free pre-delta code
+	// Apply the answers outside syncMu, as the lock-free pre-delta code
 	// did: life-cycle callbacks fired below may themselves drive the node
 	// (a handler calling SyncWait must not self-deadlock).
 
@@ -223,12 +247,13 @@ func (n *Node) SyncOnce() error {
 	for _, as := range res.Fetch {
 		n.startFetch(as)
 	}
-	return nil
+	return err
 }
 
-// heartbeat runs the report half of one synchronization under syncMu: build
-// the delta, call the scheduler (with the full-report fallback), and commit
-// the acknowledged state.
+// heartbeat runs the report half of one synchronization under syncMu: one
+// delta heartbeat per shard, in parallel, each against its own session.
+// The merged result carries every successful shard's answer; the error
+// joins the failed shards'.
 func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
@@ -238,18 +263,62 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	// scheduler's ownership heartbeats alive during transfers longer than
 	// the failure-detection timeout.
 	n.mu.Lock()
-	current := make(map[data.UID]bool, len(n.cache)+len(n.inflight))
+	clientOnly := n.clientOnly
+	perShard := make([]map[data.UID]bool, n.set.N())
+	for i := range perShard {
+		perShard[i] = make(map[data.UID]bool)
+	}
 	for uid := range n.cache {
-		current[uid] = true
+		perShard[n.set.ShardOf(uid)][uid] = true
 	}
 	for uid := range n.inflight {
-		current[uid] = true
+		perShard[n.set.ShardOf(uid)][uid] = true
 	}
+	n.mu.Unlock()
+
+	var merged scheduler.SyncDeltaResult
+	if n.set.N() == 1 {
+		res, err := n.heartbeatShard(0, perShard[0], clientOnly)
+		if err != nil {
+			return merged, err
+		}
+		merged.Drop = res.Drop
+		merged.Fetch = res.Fetch
+		return merged, nil
+	}
+
+	results := make([]scheduler.SyncDeltaResult, n.set.N())
+	errs := make([]error, n.set.N())
+	var wg sync.WaitGroup
+	for i := range n.sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = n.heartbeatShard(i, perShard[i], clientOnly)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if errs[i] != nil {
+			continue
+		}
+		merged.Drop = append(merged.Drop, res.Drop...)
+		merged.Fetch = append(merged.Fetch, res.Fetch...)
+	}
+	return merged, errors.Join(errs...)
+}
+
+// heartbeatShard runs one shard's delta heartbeat (with the full-report
+// fallback) against its session, committing the acknowledged state on
+// success. The caller holds syncMu; each shard's session is touched only by
+// its own goroutine.
+func (n *Node) heartbeatShard(shard int, current map[data.UID]bool, clientOnly bool) (scheduler.SyncDeltaResult, error) {
+	sess := &n.sessions[shard]
 	args := scheduler.SyncDeltaArgs{
 		Host:       n.Host,
-		Epoch:      n.syncEpoch,
-		Full:       !n.hasEpoch,
-		ClientOnly: n.clientOnly,
+		Epoch:      sess.epoch,
+		Full:       !sess.hasEpoch,
+		ClientOnly: clientOnly,
 	}
 	if args.Full {
 		for uid := range current {
@@ -257,19 +326,19 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 		}
 	} else {
 		for uid := range current {
-			if !n.reported[uid] {
+			if !sess.reported[uid] {
 				args.Added = append(args.Added, uid)
 			}
 		}
-		for uid := range n.reported {
+		for uid := range sess.reported {
 			if !current[uid] {
 				args.Removed = append(args.Removed, uid)
 			}
 		}
 	}
-	n.mu.Unlock()
 
-	res, err := n.comms.DS.SyncDelta(args)
+	ds := n.set.Shard(shard).DS
+	res, err := ds.SyncDelta(args)
 	if err != nil {
 		return res, fmt.Errorf("core: sync %s: %w", n.Host, err)
 	}
@@ -292,16 +361,16 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 			args.Added = append(args.Added, uid)
 		}
 		args.Removed = nil
-		if res, err = n.comms.DS.SyncDelta(args); err != nil {
+		if res, err = ds.SyncDelta(args); err != nil {
 			return res, fmt.Errorf("core: sync %s: %w", n.Host, err)
 		}
 		if res.Resync {
 			return res, fmt.Errorf("core: sync %s: scheduler refused full resync", n.Host)
 		}
 	}
-	n.reported = current
-	n.syncEpoch = res.Epoch
-	n.hasEpoch = true
+	sess.reported = current
+	sess.epoch = res.Epoch
+	sess.hasEpoch = true
 	return res, nil
 }
 

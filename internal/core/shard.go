@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bitdew/internal/data"
+	"bitdew/internal/dht"
+	"bitdew/internal/rpc"
+)
+
+// ShardSet is the client side of a sharded D* service plane: one Comms per
+// service container, plus the consistent-hash placement (dht.Placement)
+// that assigns every datum a home shard by its UID. All catalog, repository
+// and scheduler state of a datum lives on its home shard, so single-datum
+// calls route to one shard and batch calls fan out per shard in parallel.
+//
+// A ShardSet over one shard is exactly the pre-sharding client: every datum
+// homes on shard 0 and the fan-out degenerates to the plain batch path. The
+// set also carries a bounded client-side locator cache shared by the node's
+// APIs, so repeat lookups of the same datum skip the wire entirely.
+type ShardSet struct {
+	shards []*Comms
+	place  *dht.Placement
+	cache  *locatorCache
+}
+
+// ParseMembership splits a comma-separated shard address list, trimming
+// blanks. The membership list is the placement contract (its order decides
+// every datum's home shard), so every client and server must parse it the
+// same way — this is the one parser they all share.
+func ParseMembership(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ConnectSharded dials every shard of a service plane over TCP, in the
+// given membership order — the order is the placement contract, so every
+// client (and the shards' own tooling) must use the same list. Each
+// connection reconnects itself like Connect's. A shard that is down AT
+// CONNECT TIME does not abort the join: its connection is built lazily
+// (rpc.DialAutoLazy) and heals when the shard restarts, so a new client
+// can attach to a degraded plane exactly as an old client rides through
+// the degradation. Only a plane with EVERY shard unreachable refuses the
+// connect.
+func ConnectSharded(addrs []string) (*ShardSet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("core: connect sharded: empty membership")
+	}
+	shards := make([]*Comms, 0, len(addrs))
+	var dialErrs []error
+	for i, addr := range addrs {
+		c, err := Connect(addr)
+		if err != nil {
+			dialErrs = append(dialErrs, fmt.Errorf("core: connect shard %d of %d: %w", i, len(addrs), err))
+			c = commsFrom(rpc.DialAutoLazy(addr))
+		}
+		shards = append(shards, c)
+	}
+	if len(dialErrs) == len(addrs) {
+		for _, s := range shards {
+			s.Close()
+		}
+		return nil, errors.Join(dialErrs...)
+	}
+	return NewShardSet(shards...), nil
+}
+
+// NewShardSet assembles a shard router over already-connected Comms (TCP,
+// local, or mixed), in membership order.
+func NewShardSet(shards ...*Comms) *ShardSet {
+	if len(shards) == 0 {
+		panic("core: shard set over zero shards")
+	}
+	return &ShardSet{
+		shards: shards,
+		place:  dht.NewPlacement(len(shards)),
+		cache:  newLocatorCache(defaultLocatorCacheSize),
+	}
+}
+
+// shardSetOf wraps a single service connection as a degenerate one-shard
+// set — the adapter that keeps the pre-sharding Comms constructors working.
+func shardSetOf(c *Comms) *ShardSet { return NewShardSet(c) }
+
+// N returns the number of shards.
+func (s *ShardSet) N() int { return len(s.shards) }
+
+// ShardOf returns the index of uid's home shard.
+func (s *ShardSet) ShardOf(uid data.UID) int { return s.place.ShardOf(string(uid)) }
+
+// For returns the service connection of uid's home shard.
+func (s *ShardSet) For(uid data.UID) *Comms { return s.shards[s.ShardOf(uid)] }
+
+// Shard returns the i-th shard's connection.
+func (s *ShardSet) Shard(i int) *Comms { return s.shards[i] }
+
+// Shards returns the shard connections in membership order. The slice is
+// shared; do not mutate it.
+func (s *ShardSet) Shards() []*Comms { return s.shards }
+
+// RoundTrips sums the request frames sent to every shard.
+func (s *ShardSet) RoundTrips() uint64 {
+	var total uint64
+	for _, c := range s.shards {
+		total += c.RoundTrips()
+	}
+	return total
+}
+
+// LocatorCacheStats reports the client-side locator cache's hits and misses
+// since connect; benchmarks and tests use it to show repeat lookups skip
+// the wire.
+func (s *ShardSet) LocatorCacheStats() (hits, misses uint64) {
+	return s.cache.stats()
+}
+
+// Close releases every shard connection, returning the first error.
+func (s *ShardSet) Close() error {
+	var first error
+	for _, c := range s.shards {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// partition groups the indexes 0..n-1 by the home shard of uidAt(i),
+// preserving order inside each group. Only shards that receive at least one
+// index appear in the map.
+func (s *ShardSet) partition(n int, uidAt func(int) data.UID) map[int][]int {
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		shard := s.ShardOf(uidAt(i))
+		groups[shard] = append(groups[shard], i)
+	}
+	return groups
+}
+
+// eachShard runs fn once per shard group, concurrently when more than one
+// shard is involved, and joins the per-shard errors. fn receives the shard's
+// connection and the (ordered) indexes homed on it.
+func (s *ShardSet) eachShard(groups map[int][]int, fn func(shard int, c *Comms, idx []int) error) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	if len(groups) == 1 {
+		for shard, idx := range groups {
+			return fn(shard, s.shards[shard], idx)
+		}
+	}
+	errs := make([]error, 0, len(groups))
+	ch := make(chan error, len(groups))
+	for shard, idx := range groups {
+		go func(shard int, idx []int) {
+			ch <- fn(shard, s.shards[shard], idx)
+		}(shard, idx)
+	}
+	for range groups {
+		if err := <-ch; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

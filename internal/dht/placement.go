@@ -1,0 +1,76 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+)
+
+// placementVnodes is the number of virtual points each shard contributes to
+// the identifier circle. More points smooth the per-shard key share (the
+// classical consistent-hashing trade-off); 32 keeps the worst shard within a
+// few percent of fair for the shard counts BitDew deploys (2–64).
+const placementVnodes = 32
+
+// Placement maps keys onto one of n shards by consistent hashing on the same
+// 64-bit identifier circle the DHT routes on (HashID). It is the static
+// little sibling of the full Chord Ring: where the Ring places *entries* on
+// *nodes* that join and leave, Placement places *data UIDs* on *service
+// shards* whose membership is fixed by configuration — the sharded D*
+// service plane. Every client and every shard derive the identical mapping
+// from nothing but the shard count, so no placement state is exchanged.
+//
+// Each shard i contributes placementVnodes points hashed from the stable
+// label "shard-i#v". Labels (not addresses) anchor the circle, so a shard
+// restarting on a new port keeps its key range, and growing the plane from n
+// to n+1 shards only moves the keys claimed by the new shard's points —
+// every key either keeps its shard or moves to shard n (the consistent-hash
+// property TestPlacementMonotone pins).
+type Placement struct {
+	n      int
+	points []placePoint // sorted by id, ties broken by shard
+}
+
+type placePoint struct {
+	id    ID
+	shard int
+}
+
+// NewPlacement builds the canonical placement over n shards (n >= 1).
+func NewPlacement(n int) *Placement {
+	if n < 1 {
+		panic(fmt.Sprintf("dht: placement over %d shards", n))
+	}
+	p := &Placement{n: n, points: make([]placePoint, 0, n*placementVnodes)}
+	for shard := 0; shard < n; shard++ {
+		for v := 0; v < placementVnodes; v++ {
+			p.points = append(p.points, placePoint{
+				id:    HashID(fmt.Sprintf("shard-%d#%d", shard, v)),
+				shard: shard,
+			})
+		}
+	}
+	sort.Slice(p.points, func(i, j int) bool {
+		if p.points[i].id != p.points[j].id {
+			return p.points[i].id < p.points[j].id
+		}
+		return p.points[i].shard < p.points[j].shard
+	})
+	return p
+}
+
+// Shards returns the shard count the placement was built over.
+func (p *Placement) Shards() int { return p.n }
+
+// ShardOf returns the home shard of key: the shard owning the first
+// placement point at or after HashID(key) on the circle (wrapping).
+func (p *Placement) ShardOf(key string) int {
+	if p.n == 1 {
+		return 0
+	}
+	id := HashID(key)
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].id >= id })
+	if i == len(p.points) {
+		i = 0 // wrapped past the highest point
+	}
+	return p.points[i].shard
+}

@@ -1,0 +1,66 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPlacementSingleShard(t *testing.T) {
+	p := NewPlacement(1)
+	for i := 0; i < 100; i++ {
+		if got := p.ShardOf(fmt.Sprintf("key-%d", i)); got != 0 {
+			t.Fatalf("single-shard placement sent key-%d to shard %d", i, got)
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a, b := NewPlacement(4), NewPlacement(4)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("uid-%d", i)
+		if a.ShardOf(k) != b.ShardOf(k) {
+			t.Fatalf("two placements over 4 shards disagree on %s", k)
+		}
+	}
+}
+
+// TestPlacementBalance checks the vnode count keeps every shard's key share
+// within a reasonable band of fair (25% each over 4 shards).
+func TestPlacementBalance(t *testing.T) {
+	p := NewPlacement(4)
+	counts := make([]int, 4)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[p.ShardOf(fmt.Sprintf("data-%d", i))]++
+	}
+	for shard, c := range counts {
+		share := float64(c) / keys
+		if share < 0.12 || share > 0.40 {
+			t.Fatalf("shard %d holds %.1f%% of keys (counts %v)", shard, 100*share, counts)
+		}
+	}
+}
+
+// TestPlacementMonotone pins the consistent-hashing property: growing the
+// plane from n to n+1 shards moves keys only onto the new shard — no key
+// migrates between pre-existing shards.
+func TestPlacementMonotone(t *testing.T) {
+	p4, p5 := NewPlacement(4), NewPlacement(5)
+	moved := 0
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("uid-%d", i)
+		before, after := p4.ShardOf(k), p5.ShardOf(k)
+		if before == after {
+			continue
+		}
+		if after != 4 {
+			t.Fatalf("key %s moved from shard %d to pre-existing shard %d", k, before, after)
+		}
+		moved++
+	}
+	// The new shard should claim roughly 1/5 of the keys, and must claim some.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding a 5th shard moved %d of %d keys", moved, keys)
+	}
+}

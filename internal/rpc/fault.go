@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection for tests.
+//
+// reconnect_test.go can only produce one failure shape: kill the whole
+// server, so every in-flight call dies at once and the next call redials a
+// healthy peer. The faults real links produce are narrower — ONE request
+// frame lost while the server stays up, a frame delivered twice, a frame
+// delivered late — and they hit precise points in the client's
+// send/receive machinery that a server bounce cannot reach (a stray
+// response for a seq already failed over, a retry racing a delayed
+// original). A FaultPlan scripts exactly which request frames of a client
+// misbehave, so those paths become deterministic unit tests.
+
+// FaultAction says what happens to one request frame.
+type FaultAction int
+
+const (
+	// FaultNone delivers the frame normally.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the frame and breaks the connection, as a link
+	// failing while (or just before) the request is on the wire: the
+	// request never reaches the server, every call pending on the
+	// connection fails with ErrTransport, and a reconnecting client is
+	// expected to redial and replay.
+	FaultDrop
+	// FaultDup writes the frame twice. The server executes the request
+	// twice and answers twice with the same seq; the client must apply the
+	// first response and discard the stray — the wire-level reason service
+	// mutations are kept idempotent.
+	FaultDup
+	// FaultDelay writes the frame after sleeping Fault.Delay, letting
+	// later frames overtake it on a pipelined connection.
+	FaultDelay
+)
+
+// Fault is the scripted treatment of one frame.
+type Fault struct {
+	Action FaultAction
+	// Delay applies to FaultDelay.
+	Delay time.Duration
+}
+
+// FaultPlan scripts faults by request-frame index (1-based, counted across
+// every connection of the client it arms — a redial does not reset the
+// count, so "drop frames 1 and 2" exercises two reconnect attempts). The
+// zero frame count and an empty script mean no faults; frames without an
+// entry pass untouched. A plan may be shared by tests to observe how many
+// frames the client attempted.
+type FaultPlan struct {
+	mu     sync.Mutex
+	n      uint64
+	faults map[uint64]Fault
+}
+
+// NewFaultPlan builds an empty plan; script it with Set.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{faults: make(map[uint64]Fault)}
+}
+
+// Set scripts the fault for the frame-th request frame (1-based).
+func (p *FaultPlan) Set(frame uint64, f Fault) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults[frame] = f
+	return p
+}
+
+// DropFrames scripts FaultDrop for each listed frame index.
+func (p *FaultPlan) DropFrames(frames ...uint64) *FaultPlan {
+	for _, f := range frames {
+		p.Set(f, Fault{Action: FaultDrop})
+	}
+	return p
+}
+
+// Frames reports how many request frames the armed client has attempted.
+func (p *FaultPlan) Frames() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// next counts one frame and returns its scripted fault.
+func (p *FaultPlan) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	return p.faults[p.n]
+}
+
+// WithFaultPlan arms a dialled client with a fault script. The plan object
+// carries the frame counter, so passing the same plan to DialAuto keeps
+// counting across the automatic redials — exactly what scripting a
+// multi-attempt scenario needs.
+func WithFaultPlan(p *FaultPlan) DialOption {
+	return func(c *tcpClient) { c.faults = p }
+}

@@ -1,0 +1,234 @@
+package rpc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countMux serves an "count.Hit" method that counts its executions.
+func countMux(hits *atomic.Int64) *Mux {
+	m := NewMux()
+	Register(m, "count", "Hit", func(s string) (string, error) {
+		hits.Add(1)
+		return s, nil
+	})
+	return m
+}
+
+// TestFaultDropRetriedByDialAuto drops exactly one request frame while the
+// server stays healthy — the single-lost-request fault a server bounce
+// (reconnect_test.go) cannot produce. DialAuto must redial and replay; the
+// server must see the request exactly once.
+func TestFaultDropRetriedByDialAuto(t *testing.T) {
+	var hits atomic.Int64
+	srv, err := Listen("127.0.0.1:0", countMux(&hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan().DropFrames(1)
+	c, err := DialAuto(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	if err := c.Call("count", "Hit", "x", &out); err != nil || out != "x" {
+		t.Fatalf("Call through dropped frame = %q, %v", out, err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server executed the call %d times, want 1 (dropped frame never arrived)", n)
+	}
+	if n := plan.Frames(); n != 2 {
+		t.Fatalf("client sent %d frames, want 2 (original + replay)", n)
+	}
+	if n, _ := RoundTrips(c); n != 2 {
+		t.Fatalf("RoundTrips = %d, want 2 across the redial", n)
+	}
+}
+
+// TestFaultDropTwiceStillRecovers loses the frame on two consecutive
+// connections: the first replay's connection also eats the frame, forcing
+// a second redial — the deep end of DialAuto's backoff loop.
+func TestFaultDropTwiceStillRecovers(t *testing.T) {
+	var hits atomic.Int64
+	srv, err := Listen("127.0.0.1:0", countMux(&hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan().DropFrames(1, 2)
+	c, err := DialAuto(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	if err := c.Call("count", "Hit", "deep", &out); err != nil || out != "deep" {
+		t.Fatalf("Call through two dropped frames = %q, %v", out, err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server executed the call %d times, want 1", n)
+	}
+	if n := plan.Frames(); n != 3 {
+		t.Fatalf("client sent %d frames, want 3", n)
+	}
+}
+
+// TestFaultDropExhaustsRetries drops every attempt: the call must
+// eventually give up with ErrTransport after exactly the reconnection
+// budget, a path unreachable with a dead server (there the redial itself
+// fails, short-circuiting before a frame is ever sent).
+func TestFaultDropExhaustsRetries(t *testing.T) {
+	var hits atomic.Int64
+	srv, err := Listen("127.0.0.1:0", countMux(&hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan()
+	for f := uint64(1); f <= reconnectAttempts; f++ {
+		plan.DropFrames(f)
+	}
+	c, err := DialAuto(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	err = c.Call("count", "Hit", "doomed", &out)
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("exhausted call = %v, want ErrTransport", err)
+	}
+	if n := plan.Frames(); n != reconnectAttempts {
+		t.Fatalf("client sent %d frames, want %d (one per attempt)", n, reconnectAttempts)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("server executed the call %d times, want 0", n)
+	}
+}
+
+// TestFaultDropBatchReplayedOnce drops a batch frame: DialAuto must replay
+// the whole frame on a fresh connection without double-applying any call
+// and with every per-call Err reset.
+func TestFaultDropBatchReplayedOnce(t *testing.T) {
+	var hits atomic.Int64
+	srv, err := Listen("127.0.0.1:0", countMux(&hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan().DropFrames(1)
+	c, err := DialAuto(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var a, b string
+	calls := []*Call{
+		NewCall("count", "Hit", "one", &a),
+		NewCall("count", "Hit", "two", &b),
+	}
+	if err := CallBatch(c, calls); err != nil {
+		t.Fatalf("batch through dropped frame: %v", err)
+	}
+	if a != "one" || b != "two" || FirstError(calls) != nil {
+		t.Fatalf("batch replies = %q, %q, err %v", a, b, FirstError(calls))
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server executed %d calls, want 2 (the dropped frame never arrived)", n)
+	}
+}
+
+// TestFaultDupStrayResponseDiscarded duplicates one frame: the server
+// executes and answers twice with the same seq; the client must take the
+// first response and discard the stray without corrupting later calls —
+// and the duplicate execution is why service mutations stay idempotent.
+func TestFaultDupStrayResponseDiscarded(t *testing.T) {
+	var hits atomic.Int64
+	srv, err := Listen("127.0.0.1:0", countMux(&hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan().Set(1, Fault{Action: FaultDup})
+	c, err := Dial(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out string
+	if err := c.Call("count", "Hit", "twice", &out); err != nil || out != "twice" {
+		t.Fatalf("duplicated call = %q, %v", out, err)
+	}
+	// The duplicate executes asynchronously; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for hits.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server executed the duplicated call %d times, want 2", n)
+	}
+	// The connection must still be perfectly usable after the stray
+	// response was discarded.
+	for i := 0; i < 3; i++ {
+		if err := c.Call("count", "Hit", "after", &out); err != nil || out != "after" {
+			t.Fatalf("call %d after stray response = %q, %v", i, out, err)
+		}
+	}
+}
+
+// TestFaultDelayLetsLaterFramesOvertake delays one frame on a pipelined
+// connection: a later call must complete while the delayed one is still
+// outstanding, and both must land correctly once the slow frame arrives.
+func TestFaultDelayLetsLaterFramesOvertake(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plan := NewFaultPlan().Set(1, Fault{Action: FaultDelay, Delay: 250 * time.Millisecond})
+	c, err := Dial(srv.Addr(), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var slowDone atomic.Bool
+	slowErr := make(chan error, 1)
+	go func() {
+		var out string
+		err := c.Call("echo", "Echo", "slow", &out)
+		slowDone.Store(true)
+		if err == nil && out != "slow" {
+			err = errors.New("slow call got " + out)
+		}
+		slowErr <- err
+	}()
+
+	// Give the slow call time to claim frame 1, then overtake it.
+	time.Sleep(50 * time.Millisecond)
+	var out string
+	if err := c.Call("echo", "Echo", "fast", &out); err != nil || out != "fast" {
+		t.Fatalf("fast call = %q, %v", out, err)
+	}
+	if slowDone.Load() {
+		t.Fatal("delayed call finished before the fast one — no overtaking happened")
+	}
+	if err := <-slowErr; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}

@@ -52,6 +52,16 @@ func DialAuto(addr string, opts ...DialOption) (Client, error) {
 	return &autoClient{addr: addr, opts: opts, conn: c}, nil
 }
 
+// DialAutoLazy is DialAuto without the eager first dial: the client is
+// built against a peer that may currently be DOWN, and every call redials
+// (with the usual retry budget) until the peer comes back. A sharded
+// client uses it for the shards it cannot reach at connect time, so
+// joining a degraded plane works and the dead shard heals transparently
+// on restart.
+func DialAutoLazy(addr string, opts ...DialOption) Client {
+	return &autoClient{addr: addr, opts: opts}
+}
+
 // current returns the live connection, dialling a new one if the previous
 // was torn down.
 func (a *autoClient) current() (Client, error) {

@@ -56,6 +56,9 @@ type Server struct {
 	mux     *Mux
 	lis     net.Listener
 	latency time.Duration
+	// limit, when non-nil, is a server-wide semaphore capping concurrent
+	// frame dispatches (see WithServeLimit).
+	limit chan struct{}
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -71,6 +74,21 @@ type ServerOption func(*Server)
 // needing a second machine.
 func WithServerLatency(d time.Duration) ServerOption {
 	return func(s *Server) { s.latency = d }
+}
+
+// WithServeLimit caps the server at n concurrently processed request
+// frames, across all connections; excess frames queue. Together with
+// WithServerLatency this models a service host of finite capacity — n
+// request slots each occupied for the modelled service time — which is how
+// the shard-scaling experiments make one emulated host a measurable
+// bottleneck that adding shards genuinely relieves. n <= 0 leaves the
+// server unlimited.
+func WithServeLimit(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.limit = make(chan struct{}, n)
+		}
+	}
 }
 
 // NewServer starts serving m on lis until Close is called.
@@ -159,6 +177,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		go func(req request) {
+			if s.limit != nil {
+				s.limit <- struct{}{}
+				defer func() { <-s.limit }()
+			}
 			if s.latency > 0 {
 				time.Sleep(s.latency)
 			}
@@ -189,6 +211,9 @@ type tcpClient struct {
 	enc     *gob.Encoder
 	latency time.Duration
 	frames  frameCounter
+	// faults, when armed (WithFaultPlan), scripts per-frame faults for
+	// deterministic failure testing.
+	faults *FaultPlan
 
 	wmu sync.Mutex // guards enc
 
@@ -284,14 +309,33 @@ func (c *tcpClient) roundTrip(req request) (response, error) {
 		time.Sleep(c.latency)
 	}
 	c.frames.inc()
-	c.wmu.Lock()
-	err := c.enc.Encode(req)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.Seq)
-		c.mu.Unlock()
-		return response{}, fmt.Errorf("%w: sending request: %v", ErrTransport, err)
+	var fault Fault
+	if c.faults != nil {
+		fault = c.faults.next()
+	}
+	if fault.Action == FaultDrop {
+		// The frame is lost and the link breaks: nothing is written, and
+		// closing the connection makes the read loop fail every pending
+		// call (including this one) with ErrTransport below.
+		c.conn.Close()
+	} else {
+		if fault.Action == FaultDelay && fault.Delay > 0 {
+			time.Sleep(fault.Delay)
+		}
+		c.wmu.Lock()
+		err := c.enc.Encode(req)
+		if err == nil && fault.Action == FaultDup {
+			// Deliver the frame twice; the server will answer twice with
+			// the same seq and the client must discard the stray.
+			err = c.enc.Encode(req)
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			delete(c.pending, req.Seq)
+			c.mu.Unlock()
+			return response{}, fmt.Errorf("%w: sending request: %v", ErrTransport, err)
+		}
 	}
 	resp, ok := <-ch
 	if !ok {

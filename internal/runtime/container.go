@@ -53,6 +53,10 @@ type ContainerConfig struct {
 	// FTPThrottle caps the ftp server's per-connection rate in bytes/s
 	// (0 = unthrottled); benchmarks use it to emulate constrained uplinks.
 	FTPThrottle int64
+	// RPCOptions configure the rpc server (latency injection, serve
+	// limits); benchmarks use them to model a service host of finite
+	// capacity from one machine.
+	RPCOptions []rpc.ServerOption
 }
 
 // Container is one stable service host.
@@ -173,7 +177,7 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 	c.DS.Mount(c.Mux)
 
 	if cfg.Addr != "" {
-		if c.rpcServer, err = rpc.Listen(cfg.Addr, c.Mux); err != nil {
+		if c.rpcServer, err = rpc.Listen(cfg.Addr, c.Mux, cfg.RPCOptions...); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("runtime: %w", err)
 		}

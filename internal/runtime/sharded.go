@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"bitdew/internal/rpc"
+)
+
+// MembershipService is the rpc service name of the shard-membership table.
+const MembershipService = "ring"
+
+// Membership is the shared membership table of a sharded service plane:
+// the ordered list of shard rpc addresses (the order IS the placement
+// contract — clients hash data UIDs onto this list with dht.NewPlacement)
+// plus the answering shard's own index. Every shard serves the same table
+// under the "ring" service, so any one shard bootstraps a client's view of
+// the whole plane.
+type Membership struct {
+	// Self is the index of the shard answering the query.
+	Self int
+	// Addrs lists every shard's rpc address, in placement order.
+	Addrs []string
+}
+
+// MountMembership serves the membership table on a shard's Mux.
+func MountMembership(m *rpc.Mux, self int, addrs []string) {
+	table := Membership{Self: self, Addrs: append([]string(nil), addrs...)}
+	rpc.Register(m, MembershipService, "Members", func(struct{}) (Membership, error) {
+		return table, nil
+	})
+}
+
+// Members fetches the membership table from any one shard.
+func Members(c rpc.Client) (Membership, error) {
+	var table Membership
+	err := c.Call(MembershipService, "Members", struct{}{}, &table)
+	return table, err
+}
+
+// ShardedConfig configures a sharded service plane hosted in one process.
+type ShardedConfig struct {
+	// Shards is the number of independent service containers (>= 1).
+	Shards int
+	// Addrs optionally fixes each shard's listen address (len == Shards);
+	// empty picks fresh loopback ports. cmd/bitdew-service uses it so a
+	// single-process plane announces predictable ports.
+	Addrs []string
+	// StateDir, when set, gives shard i its own durable state under
+	// <StateDir>/shard-<i> — each shard checkpoints and recovers
+	// independently, exactly like N single containers would.
+	StateDir string
+	// CompactEvery overrides each shard store's WAL compaction threshold.
+	CompactEvery int
+	// DisableFTP / DisableHTTP / DisableSwarm apply to every shard.
+	DisableFTP   bool
+	DisableHTTP  bool
+	DisableSwarm bool
+	// FTPThrottle caps every shard's ftp server per-connection rate in
+	// bytes/s (0 = unthrottled).
+	FTPThrottle int64
+	// RPCOptions configure every shard's rpc server (latency, serve
+	// limits) — the per-host capacity model of the scaling experiments.
+	RPCOptions []rpc.ServerOption
+}
+
+// ShardedContainer is a sharded D* service plane: N independent service
+// containers — each a complete Data Catalog, Data Repository, Data Transfer
+// and Data Scheduler over its own store — bound together only by the
+// shared membership table. There is no cross-shard traffic at all: clients
+// place each datum on its home shard by consistent hash of the UID
+// (dht.Placement over the membership order), so the containers scale out
+// without coordinating. Shards can be killed and restarted independently;
+// a restarted shard recovers from its own StateDir and re-listens on its
+// original address, and the survivors never notice.
+type ShardedContainer struct {
+	cfg ShardedConfig
+
+	mu     sync.Mutex
+	shards []*Container // nil at indexes whose shard is killed
+	addrs  []string     // fixed at first boot; restarts re-bind the same address
+}
+
+// NewShardedContainer boots every shard, each on its own loopback address.
+func NewShardedContainer(cfg ShardedConfig) (*ShardedContainer, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("runtime: sharded container needs >= 1 shard, got %d", cfg.Shards)
+	}
+	if len(cfg.Addrs) != 0 && len(cfg.Addrs) != cfg.Shards {
+		return nil, fmt.Errorf("runtime: %d shards but %d addresses", cfg.Shards, len(cfg.Addrs))
+	}
+	s := &ShardedContainer{
+		cfg:    cfg,
+		shards: make([]*Container, cfg.Shards),
+		addrs:  make([]string, cfg.Shards),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		addr := "127.0.0.1:0"
+		if len(cfg.Addrs) != 0 {
+			addr = cfg.Addrs[i]
+		}
+		c, err := NewContainer(s.containerConfig(i, addr))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("runtime: shard %d: %w", i, err)
+		}
+		s.shards[i] = c
+		s.addrs[i] = c.Addr()
+	}
+	// The membership table needs every address, so it mounts after all
+	// shards are listening; mounting is idempotent per Mux.
+	for i, c := range s.shards {
+		MountMembership(c.Mux, i, s.addrs)
+	}
+	return s, nil
+}
+
+// containerConfig derives shard i's container configuration.
+func (s *ShardedContainer) containerConfig(i int, addr string) ContainerConfig {
+	cfg := ContainerConfig{
+		Addr:         addr,
+		CompactEvery: s.cfg.CompactEvery,
+		DisableFTP:   s.cfg.DisableFTP,
+		DisableHTTP:  s.cfg.DisableHTTP,
+		DisableSwarm: s.cfg.DisableSwarm,
+		FTPThrottle:  s.cfg.FTPThrottle,
+		RPCOptions:   s.cfg.RPCOptions,
+	}
+	if s.cfg.StateDir != "" {
+		cfg.StateDir = filepath.Join(s.cfg.StateDir, fmt.Sprintf("shard-%d", i))
+	}
+	return cfg
+}
+
+// N returns the shard count.
+func (s *ShardedContainer) N() int { return len(s.addrs) }
+
+// Addrs returns every shard's rpc address in placement order (the
+// membership table clients must connect with).
+func (s *ShardedContainer) Addrs() []string {
+	return append([]string(nil), s.addrs...)
+}
+
+// Shard returns shard i's container (nil while that shard is killed).
+func (s *ShardedContainer) Shard(i int) *Container {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[i]
+}
+
+// KillShard stops shard i, releasing its sockets and store; its state
+// directory (when durable) stays behind for RestartShard. The other shards
+// keep serving — a client loses exactly the data homed on i.
+func (s *ShardedContainer) KillShard(i int) error {
+	s.mu.Lock()
+	c := s.shards[i]
+	s.shards[i] = nil
+	s.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("runtime: shard %d already down", i)
+	}
+	return c.Close()
+}
+
+// RestartShard boots shard i again on its original address, recovering
+// whatever its StateDir holds. It is the administrator-restart of the
+// paper's transient fault model, per shard.
+func (s *ShardedContainer) RestartShard(i int) error {
+	s.mu.Lock()
+	running := s.shards[i] != nil
+	s.mu.Unlock()
+	if running {
+		return fmt.Errorf("runtime: shard %d still running", i)
+	}
+	c, err := NewContainer(s.containerConfig(i, s.addrs[i]))
+	if err != nil {
+		return fmt.Errorf("runtime: restart shard %d: %w", i, err)
+	}
+	MountMembership(c.Mux, i, s.addrs)
+	s.mu.Lock()
+	s.shards[i] = c
+	s.mu.Unlock()
+	return nil
+}
+
+// Close stops every live shard, returning the first error.
+func (s *ShardedContainer) Close() error {
+	s.mu.Lock()
+	shards := append([]*Container(nil), s.shards...)
+	for i := range s.shards {
+		s.shards[i] = nil
+	}
+	s.mu.Unlock()
+	var first error
+	for _, c := range shards {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,306 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bitdew/internal/attr"
+	"bitdew/internal/core"
+	"bitdew/internal/data"
+	"bitdew/internal/rpc"
+	"bitdew/internal/runtime"
+)
+
+// This file adds the shard-scaling scenario to the testbed: where churn.go
+// exercises one durable service host being bounced, the sharded BLAST run
+// exercises the service plane scaled OUT — N independent containers, data
+// consistent-hashed onto home shards, clients fanning batched calls out
+// per shard. The scenario emulates each service host's finite capacity
+// with the rpc server's serve limit + injected service time, so the
+// single-host bottleneck is real and adding shards measurably relieves it
+// (BenchmarkShardScaling's near-linear curve), and a kill-one-shard
+// variant checks the blast radius of losing a shard is exactly that
+// shard's data.
+
+// ShardedBlastConfig parameterises a sharded BLAST-like run.
+type ShardedBlastConfig struct {
+	// Shards is the number of service containers (default 2).
+	Shards int
+	// Workers is the number of reservoir hosts pulling the schedulers
+	// (default 4).
+	Workers int
+	// Tasks is the number of replica-1 task data in the wave (default 32);
+	// one broadcast "genebase" datum rides along, as in the paper's BLAST
+	// deployment.
+	Tasks int
+	// PayloadBytes sizes each payload (default 256).
+	PayloadBytes int
+	// ServiceTime, when set, models each service host's per-frame
+	// processing cost: every shard's rpc server handles one frame at a
+	// time (serve limit 1), holding it for ServiceTime. Zero runs the
+	// plane unthrottled (functional tests).
+	ServiceTime time.Duration
+	// KillOneShard, after the wave converges, kills the highest-index
+	// shard and audits that every datum homed on a surviving shard keeps
+	// its catalog entry, locators, placements — and stays fetchable.
+	KillOneShard bool
+	// StateDir optionally makes every shard durable (per-shard subdirs).
+	StateDir string
+	// Deadline bounds the distribution wait (default 30s).
+	Deadline time.Duration
+}
+
+// ShardedBlastReport is the outcome of a sharded BLAST run.
+type ShardedBlastReport struct {
+	Shards, Workers, Tasks int
+	// DistributionTime is the wall time from the first Put to every datum
+	// placed and downloaded (genebase on every worker, every task owned).
+	DistributionTime time.Duration
+	// ThroughputPerSec is data distributed per second over that window.
+	ThroughputPerSec float64
+	// PerShardData counts the wave's data by home shard (placement spread).
+	PerShardData []int
+	// KilledShard is the shard killed by the fault variant (-1 when none).
+	KilledShard int
+	// SurvivorData counts the wave's data homed on surviving shards;
+	// SurvivedData/SurvivedLocators/SurvivedPlacements count how many of
+	// those kept each kind of state after the kill (all equal to
+	// SurvivorData when nothing was lost).
+	SurvivorData       int
+	SurvivedData       int
+	SurvivedLocators   int
+	SurvivedPlacements int
+}
+
+func (c *ShardedBlastConfig) defaults() {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 32
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 256
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Second
+	}
+}
+
+// RunShardedBlast runs the scenario: boot an N-shard service plane,
+// distribute a BLAST-like wave (one broadcast genebase + Tasks replica-1
+// task data) through sharded clients, measure the distribution throughput,
+// and optionally kill one shard and audit the survivors. It returns an
+// error if distribution misses the deadline or the kill variant loses any
+// surviving-shard state, so tests and benchmarks can use it as an
+// acceptance check.
+func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
+	cfg.defaults()
+	report := ShardedBlastReport{
+		Shards:      cfg.Shards,
+		Workers:     cfg.Workers,
+		Tasks:       cfg.Tasks,
+		KilledShard: -1,
+	}
+
+	pcfg := runtime.ShardedConfig{
+		Shards:   cfg.Shards,
+		StateDir: cfg.StateDir,
+		// The wave moves over HTTP; the other protocol servers only cost
+		// boot time.
+		DisableFTP:   true,
+		DisableSwarm: true,
+	}
+	if cfg.ServiceTime > 0 {
+		pcfg.RPCOptions = []rpc.ServerOption{
+			rpc.WithServerLatency(cfg.ServiceTime),
+			rpc.WithServeLimit(1),
+		}
+	}
+	plane, err := runtime.NewShardedContainer(pcfg)
+	if err != nil {
+		return report, err
+	}
+	defer plane.Close()
+
+	master, err := core.ConnectSharded(plane.Addrs())
+	if err != nil {
+		return report, err
+	}
+	defer master.Close()
+	mnode, err := core.NewNode(core.NodeConfig{Host: "blast-master", Shards: master, Concurrency: 16})
+	if err != nil {
+		return report, err
+	}
+	mnode.SetClientOnly(true)
+
+	workers := make([]*core.Node, cfg.Workers)
+	for i := range workers {
+		wset, err := core.ConnectSharded(plane.Addrs())
+		if err != nil {
+			return report, err
+		}
+		defer wset.Close()
+		w, err := core.NewNode(core.NodeConfig{Host: fmt.Sprintf("blast-w%d", i), Shards: wset, Concurrency: 32})
+		if err != nil {
+			return report, err
+		}
+		workers[i] = w
+	}
+
+	// The wave: genebase (broadcast) + task data (one live replica each).
+	names := make([]string, 0, cfg.Tasks+1)
+	names = append(names, "genebase")
+	for i := 0; i < cfg.Tasks; i++ {
+		names = append(names, fmt.Sprintf("task-%04d", i))
+	}
+	start := time.Now()
+	wave, err := mnode.BitDew.CreateDataBatch(names)
+	if err != nil {
+		return report, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	contents := make([][]byte, len(wave))
+	for i := range contents {
+		payload := make([]byte, cfg.PayloadBytes)
+		rng.Read(payload)
+		contents[i] = payload
+	}
+	if err := mnode.BitDew.PutAll(wave, contents); err != nil {
+		return report, err
+	}
+	scheduled := make([]data.Data, len(wave))
+	attrs := make([]attr.Attribute, len(wave))
+	for i, d := range wave {
+		scheduled[i] = *d
+		if i == 0 {
+			attrs[i] = attr.Attribute{Name: "genebase", Replica: attr.ReplicaAll, FaultTolerant: true, Protocol: "http"}
+		} else {
+			attrs[i] = attr.Attribute{Name: "task", Replica: 1, FaultTolerant: true, Protocol: "http"}
+		}
+	}
+	if err := mnode.ActiveData.ScheduleAll(scheduled, attrs); err != nil {
+		return report, err
+	}
+
+	// Every worker pulls continuously and independently — real reservoir
+	// hosts do not barrier on each other — until the wave is fully
+	// distributed or the deadline passes.
+	limit := time.Now().Add(cfg.Deadline)
+	stop := make(chan struct{})
+	werrs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *core.Node) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.SyncWait(1); err != nil {
+					werrs[i] = err
+					return
+				}
+			}
+		}(i, w)
+	}
+	distributed := true
+	for !shardedWaveDone(workers, wave) {
+		if time.Now().After(limit) {
+			distributed = false
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for i, err := range werrs {
+		if err != nil {
+			return report, fmt.Errorf("testbed: sharded blast: worker %d: %w", i, err)
+		}
+	}
+	if !distributed {
+		return report, fmt.Errorf("testbed: sharded blast: distribution missed the %v deadline", cfg.Deadline)
+	}
+	report.DistributionTime = time.Since(start)
+	report.ThroughputPerSec = float64(len(wave)) / report.DistributionTime.Seconds()
+
+	report.PerShardData = make([]int, cfg.Shards)
+	for _, d := range wave {
+		report.PerShardData[master.ShardOf(d.UID)]++
+	}
+
+	if !cfg.KillOneShard {
+		return report, nil
+	}
+
+	// Kill the highest shard and audit the survivors: every datum homed on
+	// a live shard must keep its catalog entry, its locators, its
+	// placements — and must still be fetchable through the same sharded
+	// client (home-shard routing never touches the dead address).
+	killed := cfg.Shards - 1
+	if err := plane.KillShard(killed); err != nil {
+		return report, err
+	}
+	report.KilledShard = killed
+	for i, d := range wave {
+		home := master.ShardOf(d.UID)
+		if home == killed {
+			continue
+		}
+		report.SurvivorData++
+		shard := plane.Shard(home)
+		if _, err := shard.DC.Get(d.UID); err == nil {
+			report.SurvivedData++
+		}
+		if locs, err := shard.DC.Locators(d.UID); err == nil && len(locs) > 0 {
+			report.SurvivedLocators++
+		}
+		if len(shard.DS.Owners(d.UID)) > 0 {
+			report.SurvivedPlacements++
+		}
+		if got, err := mnode.BitDew.GetBytes(*d); err != nil {
+			return report, fmt.Errorf("testbed: sharded blast: surviving %s unreachable: %w", d.Name, err)
+		} else if string(got) != string(contents[i]) {
+			return report, fmt.Errorf("testbed: sharded blast: surviving %s corrupted", d.Name)
+		}
+	}
+	if report.SurvivedData != report.SurvivorData ||
+		report.SurvivedLocators != report.SurvivorData ||
+		report.SurvivedPlacements != report.SurvivorData {
+		return report, fmt.Errorf("testbed: sharded blast: survivors lost state: %d data, %d locators, %d placements of %d",
+			report.SurvivedData, report.SurvivedLocators, report.SurvivedPlacements, report.SurvivorData)
+	}
+	return report, nil
+}
+
+// shardedWaveDone reports whether the wave is fully distributed: the
+// broadcast head on every worker, every task downloaded by at least one.
+func shardedWaveDone(workers []*core.Node, wave []*data.Data) bool {
+	for _, w := range workers {
+		if !w.Holds(wave[0].UID) {
+			return false
+		}
+	}
+	for _, d := range wave[1:] {
+		held := false
+		for _, w := range workers {
+			if w.Holds(d.UID) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			return false
+		}
+	}
+	return true
+}

@@ -23,8 +23,11 @@ const DefaultMaxAttempts = 3
 // TransferManager API.
 type Engine struct {
 	backend repository.Backend
-	dt      *Client // nil when running detached from a DT service
-	host    string
+	// dtFor routes a datum's monitoring to its DT service — over a sharded
+	// service plane, the DT of the datum's home shard. It may be nil, or
+	// return nil, when running detached from any DT service.
+	dtFor func(data.UID) *Client
+	host  string
 
 	MonitorPeriod time.Duration
 	MaxAttempts   int
@@ -39,18 +42,38 @@ type Engine struct {
 // (transfers then run unreported, as in protocol-only benchmarks);
 // concurrency is the maximum number of simultaneous transfers.
 func NewEngine(backend repository.Backend, dt *Client, host string, concurrency int) *Engine {
+	var dtFor func(data.UID) *Client
+	if dt != nil {
+		dtFor = func(data.UID) *Client { return dt }
+	}
+	return NewEngineRouted(backend, dtFor, host, concurrency)
+}
+
+// NewEngineRouted is NewEngine with per-datum DT routing: dtFor maps each
+// datum to the DT client its transfers report to (the home shard's, over a
+// sharded service plane). A nil dtFor — or a nil client returned for a
+// datum — runs those transfers unreported.
+func NewEngineRouted(backend repository.Backend, dtFor func(data.UID) *Client, host string, concurrency int) *Engine {
 	if concurrency <= 0 {
 		concurrency = 4
 	}
 	return &Engine{
 		backend:       backend,
-		dt:            dt,
+		dtFor:         dtFor,
 		host:          host,
 		MonitorPeriod: DefaultMonitorPeriod,
 		MaxAttempts:   DefaultMaxAttempts,
 		sem:           make(chan struct{}, concurrency),
 		handles:       make(map[data.UID][]*Handle),
 	}
+}
+
+// dtOf resolves the DT client of one datum (nil when unreported).
+func (e *Engine) dtOf(uid data.UID) *Client {
+	if e.dtFor == nil {
+		return nil
+	}
+	return e.dtFor(uid)
 }
 
 // Backend exposes the engine's local storage.
@@ -125,20 +148,30 @@ func (e *Engine) Upload(d data.Data, loc data.Locator) *Handle {
 	return e.start(d, loc, "upload", "", false)
 }
 
-// UploadAll starts one upload per (ds[i], locs[i]) pair, registering all N
-// transfers with the DT service in a single batch frame instead of one
-// Open round trip per transfer — the engine-side leg of the batch-first
-// request path. The transfers themselves then run concurrently under the
-// engine's usual concurrency cap.
+// UploadAll starts one upload per (ds[i], locs[i]) pair, registering the N
+// transfers with their DT services in a single batch frame per service
+// (one per home shard, instead of one Open round trip per transfer) — the
+// engine-side leg of the batch-first request path. The transfers themselves
+// then run concurrently under the engine's usual concurrency cap.
 func (e *Engine) UploadAll(ds []data.Data, locs []data.Locator) []*Handle {
 	ids := make([]data.UID, len(ds))
-	if e.dt != nil {
-		reqs := make([]OpenRequest, len(ds))
-		for i, d := range ds {
-			reqs[i] = OpenRequest{DataUID: d.UID, Protocol: locs[i].Protocol, Host: e.host, Total: d.Size}
+	// Group the opens by DT client: a single-plane engine makes one
+	// OpenAll, a sharded one makes one per shard with uploads homed there.
+	groups := make(map[*Client][]int)
+	for i, d := range ds {
+		if dt := e.dtOf(d.UID); dt != nil {
+			groups[dt] = append(groups[dt], i)
 		}
-		if opened, err := e.dt.OpenAll(reqs); err == nil {
-			ids = opened
+	}
+	for dt, idx := range groups {
+		reqs := make([]OpenRequest, len(idx))
+		for j, i := range idx {
+			reqs[j] = OpenRequest{DataUID: ds[i].UID, Protocol: locs[i].Protocol, Host: e.host, Total: ds[i].Size}
+		}
+		if opened, err := dt.OpenAll(reqs); err == nil && len(opened) == len(idx) {
+			for j, i := range idx {
+				ids[i] = opened[j]
+			}
 		}
 	}
 	handles := make([]*Handle, len(ds))
@@ -196,8 +229,9 @@ func (e *Engine) run(h *Handle, d data.Data, loc data.Locator, dtID data.UID, dt
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
-	if dtID == "" && !dtOpened && e.dt != nil {
-		id, err := e.dt.Open(d.UID, loc.Protocol, e.host, d.Size)
+	dt := e.dtOf(d.UID)
+	if dtID == "" && !dtOpened && dt != nil {
+		id, err := dt.Open(d.UID, loc.Protocol, e.host, d.Size)
 		if err == nil {
 			dtID = id
 		}
@@ -207,15 +241,15 @@ func (e *Engine) run(h *Handle, d data.Data, loc data.Locator, dtID data.UID, dt
 		h.progress = p
 		h.state = st
 		h.mu.Unlock()
-		if e.dt != nil && dtID != "" {
-			e.dt.Report(dtID, p.Bytes, st, msg)
+		if dt != nil && dtID != "" {
+			dt.Report(dtID, p.Bytes, st, msg)
 		}
 	}
 
 	var lastErr error
 	for attempt := 1; attempt <= e.MaxAttempts; attempt++ {
-		if attempt > 1 && e.dt != nil && dtID != "" {
-			e.dt.Retry(dtID)
+		if attempt > 1 && dt != nil && dtID != "" {
+			dt.Retry(dtID)
 		}
 		t, err := New(d, loc, e.backend)
 		if err != nil {

@@ -1,0 +1,71 @@
+package bitdew_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bitdew/internal/testbed"
+)
+
+// ---- Shard scaling (BLAST-workload throughput vs shard count) ----
+//
+// The paper's D* services are single hosts; the sharded service plane
+// partitions catalog, repository and scheduler across N containers by
+// consistent hash of the data UID. These runs emulate each service host's
+// finite capacity (rpc serve limit 1, a fixed per-frame service time) so
+// the benchmark measures what sharding is for: the same BLAST wave
+// distributed through 1, 2 and 4 shards, throughput scaling with the
+// shards because every shard serializes only its own frames.
+
+// shardScalingConfig is the shared workload; only the shard count varies.
+func shardScalingConfig(shards int) testbed.ShardedBlastConfig {
+	return testbed.ShardedBlastConfig{
+		Shards:       shards,
+		Workers:      4,
+		Tasks:        192,
+		PayloadBytes: 256,
+		ServiceTime:  6 * time.Millisecond,
+	}
+}
+
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				report, err := testbed.RunShardedBlast(shardScalingConfig(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += report.ThroughputPerSec
+			}
+			b.ReportMetric(sum/float64(b.N), "data/sec")
+		})
+	}
+}
+
+// TestBenchShardScalingAcceptance pins the scaling claim the benchmark
+// demonstrates: with per-host capacity held constant, 4 shards move the
+// same BLAST wave at >= 1.6x the single-shard throughput. (Typical runs
+// land near 2.5x — the gap to 4x is the workload's constant client-side
+// cost plus placement skew — and 1.6x leaves headroom for noisy CI
+// machines and the race detector's overhead.)
+func TestBenchShardScalingAcceptance(t *testing.T) {
+	run := func(shards int) float64 {
+		t.Helper()
+		report, err := testbed.RunShardedBlast(shardScalingConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%d shards: %.0f data/sec (%v for %d data, spread %v)",
+			shards, report.ThroughputPerSec, report.DistributionTime, report.Tasks+1, report.PerShardData)
+		return report.ThroughputPerSec
+	}
+	one := run(1)
+	four := run(4)
+	if four < 1.6*one {
+		t.Fatalf("4 shards reached %.0f data/sec vs %.0f on 1 shard (%.2fx, want >= 1.6x)",
+			four, one, four/one)
+	}
+}
