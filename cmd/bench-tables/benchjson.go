@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bitdew/internal/loadgen"
+)
+
+// -bench-json renders the sustained-load performance trajectory: every
+// BENCH_*.json written by cmd/bitdew-stress (one per tracked change or
+// scenario) becomes a row of a markdown table, oldest first, so the history
+// of throughput and tail latency reads top to bottom like the paper's
+// result tables read left to right.
+
+// benchJSONTable loads every report matching the glob and renders them as
+// one markdown table. Returns an error when the glob matches nothing — a
+// silent empty trajectory would read as "no regressions" in CI.
+func benchJSONTable(glob string) (string, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return "", fmt.Errorf("bench-tables: bad glob %q: %w", glob, err)
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("bench-tables: no reports match %q", glob)
+	}
+	sort.Strings(paths)
+	reports := make([]*loadgen.Report, 0, len(paths))
+	for _, p := range paths {
+		rep, err := loadgen.ReadReport(p)
+		if err != nil {
+			return "", err
+		}
+		reports = append(reports, rep)
+	}
+	// Oldest first: the trajectory reads downward through time.
+	sort.SliceStable(reports, func(i, j int) bool {
+		return reports[i].GeneratedAt < reports[j].GeneratedAt
+	})
+
+	var b strings.Builder
+	b.WriteString("| run | date | scenario | ops/sec | errors | p50 ms | p99 ms | p999 ms |\n")
+	b.WriteString("|---|---|---|---:|---:|---:|---:|---:|\n")
+	for _, r := range reports {
+		date := r.GeneratedAt
+		if len(date) >= 10 {
+			date = date[:10]
+		}
+		scenario := fmt.Sprintf("%dsh × %dcl, %s, %s",
+			r.Scenario.Shards, r.Scenario.Clients, r.Scenario.Mix, r.Scenario.Arrival)
+		fmt.Fprintf(&b, "| %s | %s | %s | %.0f | %d | %.3f | %.3f | %.3f |\n",
+			r.Name, date, scenario, r.Throughput, r.Errors,
+			r.Latency.P50, r.Latency.P99, r.Latency.P999)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitdew/internal/loadgen"
+)
+
+// TestRunInProcess drives the binary's run() exactly as the CLI would: a
+// short mixed-load window against a freshly booted 2-shard plane, then
+// checks the report round-trips through the -out file.
+func TestRunInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a sharded plane")
+	}
+	o := options{
+		shards:   2,
+		clients:  8,
+		conns:    2,
+		duration: 600 * time.Millisecond,
+		warmup:   150 * time.Millisecond,
+		mix:      loadgen.DefaultMix().String(),
+		payload:  128,
+		preload:  16,
+		slots:    4,
+		seed:     1,
+	}
+	rep, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.Ops == 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d op errors", rep.Errors)
+	}
+	if rep.Scenario.Shards != 2 || rep.Scenario.Conns != 2 {
+		t.Fatalf("scenario = %+v", rep.Scenario)
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_stress.json")
+	if err := rep.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops != rep.Ops || back.Name != "stress" {
+		t.Fatalf("round trip: got %d ops (%q), want %d", back.Ops, back.Name, rep.Ops)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsBadMix pins flag validation: a bad mix fails before any
+// plane is booted.
+func TestRunRejectsBadMix(t *testing.T) {
+	if _, err := run(options{mix: "delete=1"}); err == nil {
+		t.Fatal("want error for unknown op class")
+	}
+}

@@ -1,0 +1,166 @@
+// Package loadgen is the sustained-load harness behind cmd/bitdew-stress:
+// it models the paper's evaluation conditions (§5, Fig. 3 — many nodes
+// hammering the D* services at once) as a configurable mix of
+// put/fetch/schedule/search operations issued by thousands of simulated
+// clients, with open- or closed-loop arrival, a warmup phase, and per-op
+// latency recorded into HDR-style histograms. Results serialize to
+// machine-readable BENCH_*.json reports so the performance trajectory is
+// tracked across changes (cmd/bench-tables renders the trajectory).
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// The histogram is log-linear, the layout HdrHistogram popularised: values
+// below 2^histSubBits index their bucket directly, and every octave above
+// that is split into 2^(histSubBits-1) linear sub-buckets, so the bucket
+// width tracks the magnitude and the relative quantile error stays below
+// 2^-(histSubBits-1) (~3% here) across the whole range. Counts are fixed-size
+// arrays — recording is one index computation and one increment, no
+// allocation — which is what lets every load-generator worker keep private
+// histograms on its hot path and merge them after the run.
+const (
+	histSubBits = 6 // 64 direct values, 32 sub-buckets per octave
+	histSubHalf = 1 << (histSubBits - 1)
+	// histBuckets covers the full uint64 range: 2^histSubBits direct slots
+	// plus 32 sub-buckets for each of the remaining octaves.
+	histBuckets = (1 << histSubBits) + (64-histSubBits)*histSubHalf
+)
+
+// Hist is a fixed-footprint latency histogram with ~3% relative quantile
+// error. The zero value is ready to use. Not safe for concurrent use: give
+// each worker its own and Merge them.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if u < 1<<histSubBits {
+		return int(u)
+	}
+	e := bits.Len64(u)              // u in [2^(e-1), 2^e), e > histSubBits
+	sub := u >> uint(e-histSubBits) // keep histSubBits significant bits
+	return 1<<histSubBits +         // direct slots
+		(e-histSubBits-1)*histSubHalf + // full octaves below this one
+		int(sub) - histSubHalf // linear position inside the octave
+}
+
+// bucketHigh returns the largest value mapping to bucket index i — the
+// value quantiles report, so a quantile never understates the latency it
+// stands for.
+func bucketHigh(i int) int64 {
+	if i < 1<<histSubBits {
+		return int64(i)
+	}
+	o := i - 1<<histSubBits
+	e := o/histSubHalf + histSubBits + 1 // octave: values in [2^(e-1), 2^e)
+	sub := uint64(o%histSubHalf + histSubHalf)
+	return int64((sub+1)<<uint(e-histSubBits) - 1)
+}
+
+// Record adds one latency sample. Negative durations count as zero.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.sum += v
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Quantile returns the latency at quantile q in [0, 1]: the upper bound of
+// the bucket holding the ceil(q*count)-th sample, clamped to the recorded
+// extrema so p0 and p100 are exact. An empty histogram reports 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds o's samples into h (per-worker histograms into the run total).
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.sum += o.sum
+	h.total += o.total
+}

@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// histRelTolerance is the histogram's designed relative quantile error:
+// octaves split into 2^(histSubBits-1) linear sub-buckets bound the error
+// by 1/2^(histSubBits-1).
+const histRelTolerance = 1.0 / histSubHalf
+
+// oracleQuantile is the exact quantile over a sorted sample slice, using
+// the same nearest-rank definition the histogram implements.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	rank := int(q * float64(len(sorted)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistQuantileOracle records random samples from several distributions
+// and checks every quantile against the sorted-slice oracle within the
+// designed relative error.
+func TestHistQuantileOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform": func(r *rand.Rand) int64 { return r.Int63n(int64(time.Second)) },
+		"exp":     func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * float64(10*time.Millisecond)) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return int64(time.Second) + r.Int63n(int64(time.Second))
+			}
+			return r.Int63n(int64(time.Millisecond))
+		},
+		"tiny": func(r *rand.Rand) int64 { return r.Int63n(50) },
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			var h Hist
+			samples := make([]int64, 20000)
+			for i := range samples {
+				v := draw(r)
+				samples[i] = v
+				h.Record(time.Duration(v))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range quantiles {
+				want := oracleQuantile(samples, q)
+				got := int64(h.Quantile(q))
+				// The histogram reports the bucket's upper bound, clamped to
+				// the recorded extrema: got must be >= want (never
+				// understate) and within the relative tolerance.
+				if got < want {
+					t.Errorf("q=%v: got %d < oracle %d (quantile understated)", q, got, want)
+				}
+				slack := int64(float64(want)*histRelTolerance) + 1
+				if got > want+slack {
+					t.Errorf("q=%v: got %d, oracle %d, beyond tolerance %d", q, got, want, slack)
+				}
+			}
+			if h.Count() != uint64(len(samples)) {
+				t.Errorf("count = %d, want %d", h.Count(), len(samples))
+			}
+			if int64(h.Min()) != samples[0] || int64(h.Max()) != samples[len(samples)-1] {
+				t.Errorf("min/max = %v/%v, want %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+// TestHistMerge checks that merging per-worker histograms equals recording
+// everything into one: same counts, extrema and quantiles.
+func TestHistMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var whole Hist
+	workers := make([]Hist, 8)
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(r.Int63n(int64(10 * time.Second)))
+		whole.Record(v)
+		workers[i%len(workers)].Record(v)
+	}
+	var merged Hist
+	for i := range workers {
+		merged.Merge(&workers[i])
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Fatalf("merged mean = %v, want %v", merged.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistZeroSamples pins the empty-histogram edge cases: everything
+// reports zero, merging an empty histogram is a no-op, and merging INTO an
+// empty histogram adopts the source's extrema.
+func TestHistZeroSamples(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d q50=%v min=%v max=%v mean=%v",
+			h.Count(), h.Quantile(0.5), h.Min(), h.Max(), h.Mean())
+	}
+
+	var full Hist
+	full.Record(5 * time.Millisecond)
+	full.Merge(&h) // empty source: no-op
+	if full.Count() != 1 || full.Min() != 5*time.Millisecond {
+		t.Fatalf("merging empty changed the target: count=%d min=%v", full.Count(), full.Min())
+	}
+
+	var empty Hist
+	empty.Merge(&full) // empty target adopts the source, including min
+	if empty.Count() != 1 || empty.Min() != 5*time.Millisecond || empty.Max() != 5*time.Millisecond {
+		t.Fatalf("merging into empty: count=%d min=%v max=%v", empty.Count(), empty.Min(), empty.Max())
+	}
+
+	// A single zero-valued sample is still a sample.
+	var z Hist
+	z.Record(0)
+	if z.Count() != 1 || z.Quantile(1) != 0 {
+		t.Fatalf("zero-valued sample: count=%d q100=%v", z.Count(), z.Quantile(1))
+	}
+}
+
+// TestHistBucketMonotone sweeps the bucket math: indexes are monotone in
+// the value, and every value is <= the upper bound of its bucket.
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<20 + 7, 1 << 40, 1<<62 + 12345} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d: not monotone", v, b, prev)
+		}
+		prev = b
+		if hi := bucketHigh(b); hi < v {
+			t.Errorf("bucketHigh(%d) = %d < value %d", b, hi, v)
+		}
+	}
+	if b := bucketOf(1<<63 - 1); b >= histBuckets {
+		t.Fatalf("max value bucket %d out of range %d", b, histBuckets)
+	}
+}

@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("put=2,fetch=6,schedule=1,search=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Put: 2, Fetch: 6, Schedule: 1, Search: 1}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	if m.String() != "put=2,fetch=6,schedule=1,search=1" {
+		t.Fatalf("round trip = %q", m.String())
+	}
+	if m, err = ParseMix("fetch=1"); err != nil || m.total() != 1 {
+		t.Fatalf("single-class mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "put=0", "put", "put=-1", "delete=1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q): want error", bad)
+		}
+	}
+}
+
+// TestMixPick checks the weighted draw lands near the asked proportions and
+// never picks a zero-weight class.
+func TestMixPick(t *testing.T) {
+	m := Mix{Put: 1, Fetch: 3, Search: 1} // schedule disabled
+	r := rand.New(rand.NewSource(5))
+	var counts [NumOps]int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[m.pick(r)]++
+	}
+	if counts[OpSchedule] != 0 {
+		t.Fatalf("picked schedule %d times with weight 0", counts[OpSchedule])
+	}
+	if f := float64(counts[OpFetch]) / n; f < 0.55 || f > 0.65 {
+		t.Errorf("fetch fraction = %.3f, want ~0.6", f)
+	}
+}
+
+// countingOps is a fake client: constant-latency ops, scripted failures.
+type countingOps struct {
+	ops       *atomic.Uint64
+	delay     time.Duration
+	failEvery int
+	n         int
+	closed    *atomic.Int32
+}
+
+func (c *countingOps) Do(kind OpKind, r *rand.Rand) error {
+	c.ops.Add(1)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	c.n++
+	if c.failEvery > 0 && c.n%c.failEvery == 0 {
+		return errors.New("scripted failure")
+	}
+	return nil
+}
+
+func (c *countingOps) Close() error { c.closed.Add(1); return nil }
+
+// TestRunClosedLoop drives the generator against fake clients and checks
+// the accounting: ops counted, errors tallied, every client closed, and
+// per-op stats only for classes in the mix.
+func TestRunClosedLoop(t *testing.T) {
+	var total atomic.Uint64
+	var closed atomic.Int32
+	cfg := Config{
+		Clients:  4,
+		Duration: 200 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Mix:      Mix{Put: 1, Fetch: 1},
+	}
+	res, err := Run(cfg, func(i int) (Ops, error) {
+		return &countingOps{ops: &total, delay: time.Millisecond, failEvery: 10, closed: &closed}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Load() != 4 {
+		t.Errorf("closed %d clients, want 4", closed.Load())
+	}
+	if res.Ops == 0 {
+		t.Fatal("no measured ops")
+	}
+	// Warmup ops executed but were not measured.
+	if total.Load() <= res.Ops {
+		t.Errorf("total executed %d should exceed measured %d (warmup excluded)", total.Load(), res.Ops)
+	}
+	if res.Errors == 0 || res.Errors >= res.Ops {
+		t.Errorf("errors = %d of %d ops, want some but not all", res.Errors, res.Ops)
+	}
+	if res.Shed != 0 {
+		t.Errorf("closed loop shed %d", res.Shed)
+	}
+	if len(res.PerOp) != 2 {
+		t.Fatalf("per-op classes = %d, want 2 (put, fetch)", len(res.PerOp))
+	}
+	var sum uint64
+	for kind, stats := range res.PerOp {
+		if kind != OpPut && kind != OpFetch {
+			t.Errorf("unexpected class %v", kind)
+		}
+		if stats.Hist.Count() != stats.Count {
+			t.Errorf("%v: hist count %d != op count %d", kind, stats.Hist.Count(), stats.Count)
+		}
+		sum += stats.Count
+	}
+	if sum != res.Ops || res.All.Count() != res.Ops {
+		t.Errorf("per-op sum %d / all-hist %d, want %d", sum, res.All.Count(), res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("throughput = %v", res.Throughput())
+	}
+	if p50, p99 := res.All.Quantile(0.5), res.All.Quantile(0.99); p50 > p99 {
+		t.Errorf("quantiles out of order: p50 %v > p99 %v", p50, p99)
+	}
+}
+
+// TestRunOpenLoop checks open-loop pacing: with fast clients the measured
+// throughput tracks the asked rate, not the clients' maximum speed.
+func TestRunOpenLoop(t *testing.T) {
+	var total atomic.Uint64
+	var closed atomic.Int32
+	cfg := Config{
+		Clients:  4,
+		Duration: 400 * time.Millisecond,
+		Mix:      Mix{Fetch: 1},
+		OpenLoop: true,
+		Rate:     500,
+	}
+	res, err := Run(cfg, func(i int) (Ops, error) {
+		return &countingOps{ops: &total, closed: &closed}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast clients under closed loop would run orders of magnitude beyond
+	// 500 ops/sec; open loop must stay near it (generous CI bounds).
+	if tp := res.Throughput(); tp < 200 || tp > 800 {
+		t.Errorf("open-loop throughput = %.0f ops/sec, want ~500", tp)
+	}
+}
+
+// TestRunOpenLoopNeedsRate pins the config validation.
+func TestRunOpenLoopNeedsRate(t *testing.T) {
+	_, err := Run(Config{OpenLoop: true, Duration: time.Millisecond}, func(i int) (Ops, error) {
+		t.Fatal("factory called despite invalid config")
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("want error for open loop without rate")
+	}
+}
+
+// TestRunSetupFailure checks a failing factory aborts the run and closes
+// the clients already built.
+func TestRunSetupFailure(t *testing.T) {
+	var closed atomic.Int32
+	var total atomic.Uint64
+	_, err := Run(Config{Clients: 3, Duration: time.Millisecond}, func(i int) (Ops, error) {
+		if i == 2 {
+			return nil, errors.New("boom")
+		}
+		return &countingOps{ops: &total, closed: &closed}, nil
+	})
+	if err == nil {
+		t.Fatal("want setup error")
+	}
+	if closed.Load() != 2 {
+		t.Errorf("closed %d clients on abort, want 2", closed.Load())
+	}
+}

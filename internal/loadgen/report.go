@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyMS is a latency summary in milliseconds — the unit every
+// BENCH_*.json carries so reports diff cleanly across runs.
+type LatencyMS struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+func latencyMS(h *Hist) LatencyMS {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencyMS{
+		P50:  ms(h.Quantile(0.50)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Max:  ms(h.Max()),
+		Mean: ms(h.Mean()),
+	}
+}
+
+// OpReport is one op class's line of the report.
+type OpReport struct {
+	Ops     uint64    `json:"ops"`
+	Errors  uint64    `json:"errors"`
+	Rate    float64   `json:"ops_per_sec"`
+	Latency LatencyMS `json:"latency"`
+}
+
+// Report is the machine-readable outcome of a load run — the schema of the
+// BENCH_*.json trajectory files. cmd/bench-tables ingests these and renders
+// the trajectory as a markdown table.
+type Report struct {
+	// Name tags the scenario ("stress" for cmd/bitdew-stress's default).
+	Name string `json:"name"`
+	// GeneratedAt is the RFC 3339 time the run finished.
+	GeneratedAt string `json:"generated_at"`
+	// Scenario describes the run's shape.
+	Scenario struct {
+		Shards   int    `json:"shards"`
+		Clients  int    `json:"clients"`
+		Conns    int    `json:"conns"`
+		Mix      string `json:"mix"`
+		Arrival  string `json:"arrival"` // "closed" or "open@<rate>"
+		Duration string `json:"duration"`
+		Warmup   string `json:"warmup"`
+		Payload  int    `json:"payload_bytes"`
+	} `json:"scenario"`
+	ElapsedSec float64              `json:"elapsed_sec"`
+	Throughput float64              `json:"throughput_ops_per_sec"`
+	Ops        uint64               `json:"ops"`
+	Errors     uint64               `json:"errors"`
+	Shed       uint64               `json:"shed"`
+	Latency    LatencyMS            `json:"latency"`
+	PerOp      map[string]*OpReport `json:"per_op"`
+	// ErrorSamples holds up to a handful of distinct error messages when
+	// Errors > 0, so a failed CI smoke is diagnosable from the artifact.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// BuildReport folds a Result into the serializable report. shards and conns
+// describe the plane the run hit (0 when unknown).
+func BuildReport(name string, res *Result, shards, conns, payload int) *Report {
+	rep := &Report{
+		Name:         name,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		ElapsedSec:   res.Elapsed.Seconds(),
+		Throughput:   res.Throughput(),
+		Ops:          res.Ops,
+		Errors:       res.Errors,
+		Shed:         res.Shed,
+		Latency:      latencyMS(res.All),
+		PerOp:        make(map[string]*OpReport),
+		ErrorSamples: res.ErrorSamples,
+	}
+	rep.Scenario.Shards = shards
+	rep.Scenario.Clients = res.Config.Clients
+	rep.Scenario.Conns = conns
+	rep.Scenario.Mix = res.Config.Mix.String()
+	rep.Scenario.Arrival = "closed"
+	if res.Config.OpenLoop {
+		rep.Scenario.Arrival = fmt.Sprintf("open@%g", res.Config.Rate)
+	}
+	rep.Scenario.Duration = res.Config.Duration.String()
+	rep.Scenario.Warmup = res.Config.Warmup.String()
+	rep.Scenario.Payload = payload
+	for kind, stats := range res.PerOp {
+		rate := 0.0
+		if res.Elapsed > 0 {
+			rate = float64(stats.Count) / res.Elapsed.Seconds()
+		}
+		rep.PerOp[kind.String()] = &OpReport{
+			Ops:     stats.Count,
+			Errors:  stats.Errors,
+			Rate:    rate,
+			Latency: latencyMS(stats.Hist),
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path, indented, with a trailing newline so
+// the file diffs cleanly under version control.
+func (r *Report) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadReport parses one BENCH_*.json file.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Summary renders the human-readable run summary cmd/bitdew-stress prints.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.0f ops/sec over %.1fs (%d ops, %d errors",
+		r.Name, r.Throughput, r.ElapsedSec, r.Ops, r.Errors)
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, ", %d shed", r.Shed)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  scenario: %d shards, %d clients over %d conns, mix %s, arrival %s, %s payload %dB\n",
+		r.Scenario.Shards, r.Scenario.Clients, r.Scenario.Conns,
+		r.Scenario.Mix, r.Scenario.Arrival, r.Scenario.Duration, r.Scenario.Payload)
+	fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s %10s %10s\n",
+		"op", "ops", "ops/sec", "p50 ms", "p99 ms", "p999 ms", "max ms")
+	fmt.Fprintf(&b, "  %-10s %10d %10.0f %10.3f %10.3f %10.3f %10.3f\n",
+		"all", r.Ops, r.Throughput, r.Latency.P50, r.Latency.P99, r.Latency.P999, r.Latency.Max)
+	names := make([]string, 0, len(r.PerOp))
+	for name := range r.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := r.PerOp[name]
+		fmt.Fprintf(&b, "  %-10s %10d %10.0f %10.3f %10.3f %10.3f %10.3f\n",
+			name, op.Ops, op.Rate, op.Latency.P50, op.Latency.P99, op.Latency.P999, op.Latency.Max)
+	}
+	for _, s := range r.ErrorSamples {
+		fmt.Fprintf(&b, "  error: %s\n", s)
+	}
+	return b.String()
+}

@@ -21,17 +21,24 @@ type Coalescer struct {
 
 	mu       sync.Mutex
 	queue    []*coalesced
+	spare    []*coalesced // recycled queue backing array
 	flushing bool
 	closed   bool
 }
 
 // coalesced is one enqueued group: the calls of one logical Call or
 // CallBatch, released together. err carries the frame-level transport
-// error of the frame the group rode, if any.
+// error of the frame the group rode, if any. done is a reusable one-slot
+// signal (sent, not closed), so groups recycle through groupPool and the
+// enqueue hot path stops allocating a group and a channel per waiter.
 type coalesced struct {
 	calls []*Call
 	err   error
 	done  chan struct{}
+}
+
+var groupPool = sync.Pool{
+	New: func() any { return &coalesced{done: make(chan struct{}, 1)} },
 }
 
 // NewCoalescer wraps c. The wrapped client should support BatchCaller for
@@ -73,38 +80,54 @@ func (co *Coalescer) enqueue(calls []*Call) error {
 		co.mu.Unlock()
 		return err
 	}
-	g := &coalesced{calls: calls, done: make(chan struct{})}
+	g := groupPool.Get().(*coalesced)
+	g.calls = calls
+	g.err = nil
 	co.queue = append(co.queue, g)
 	co.mu.Unlock()
 	<-g.done
-	return g.err
+	err := g.err
+	g.calls = nil
+	groupPool.Put(g)
+	return err
 }
 
 // flushLoop drains the queue, one batch frame per iteration, exiting when a
-// drain finds nothing queued.
+// drain finds nothing queued. The groups slice and the merged calls slice
+// are reused across iterations, so a long convoy costs two allocations
+// total instead of two per frame.
 func (co *Coalescer) flushLoop() {
+	var calls []*Call
 	for {
 		co.mu.Lock()
 		groups := co.queue
-		co.queue = nil
+		co.queue = co.spare[:0]
+		co.spare = nil
 		if len(groups) == 0 {
 			co.flushing = false
+			co.spare = groups[:0]
 			co.mu.Unlock()
 			return
 		}
 		co.mu.Unlock()
 
-		var calls []*Call
+		calls = calls[:0]
 		for _, g := range groups {
 			calls = append(calls, g.calls...)
 		}
 		// Per-call outcomes are stamped onto the calls; the frame-level
 		// error is additionally handed to every group that rode the frame.
 		err := CallBatch(co.c, calls)
-		for _, g := range groups {
+		for i, g := range groups {
+			groups[i] = nil
 			g.err = err
-			close(g.done)
+			g.done <- struct{}{}
 		}
+		co.mu.Lock()
+		if co.spare == nil {
+			co.spare = groups[:0]
+		}
+		co.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,199 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The splice pool's whole claim is "byte-identical to a fresh encoder".
+// These tests hold it to that: spliced blobs must equal fresh gob output
+// exactly, decode with plain gob, and every unsafe or foreign shape must
+// fall back to the fresh path without observable difference.
+
+type spliceNested struct {
+	Tags  map[string]int
+	Peers []string
+}
+
+type spliceRich struct {
+	UID    string
+	Size   int64
+	Blob   []byte
+	Nested spliceNested
+	Ptr    *spliceNested
+}
+
+func freshGob(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSpliceMatchesFreshEncoder compares spliced output against a fresh
+// encoder's, byte for byte, across repeated encodes (warm-path) and varied
+// values.
+func TestSpliceMatchesFreshEncoder(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		vals := []any{
+			hotArgs{UID: fmt.Sprintf("uid-%d", i), Name: "n", Data: []byte{byte(i)}},
+			spliceRich{
+				UID:    fmt.Sprintf("rich-%d", i),
+				Size:   int64(i * 100),
+				Blob:   bytes.Repeat([]byte{byte(i)}, i%7),
+				Nested: spliceNested{Tags: map[string]int{"a": i}, Peers: []string{"p1", "p2"}},
+				Ptr:    &spliceNested{Peers: []string{"q"}},
+			},
+			&hotArgs{UID: "by-pointer"},
+			[]string{"a", "b", fmt.Sprint(i)},
+		}
+		for _, v := range vals {
+			got, err := encode(v)
+			if err != nil {
+				t.Fatalf("encode(%T): %v", v, err)
+			}
+			if want := freshGob(t, v); !bytes.Equal(got, want) {
+				t.Fatalf("iteration %d: encode(%T) diverged from fresh gob output", i, v)
+			}
+		}
+	}
+}
+
+// TestSpliceRoundTrip runs values through the pooled encode AND the pooled
+// decode repeatedly, so both warm paths are exercised past warm-up.
+func TestSpliceRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		in := spliceRich{
+			UID:    fmt.Sprintf("rt-%d", i),
+			Size:   int64(i),
+			Nested: spliceNested{Tags: map[string]int{"k": i}},
+		}
+		raw, err := encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out spliceRich
+		if err := decode(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d: round trip mutated value:\n in: %+v\nout: %+v", i, in, out)
+		}
+	}
+}
+
+type withIface struct {
+	Name string
+	V    any
+}
+
+// TestSpliceUnsafeTypeFallsBack pins the safety gate: a type with a
+// reachable interface field never splices (a warm encoder's state could
+// grow mid-stream) but still encodes and decodes through the fresh path.
+func TestSpliceUnsafeTypeFallsBack(t *testing.T) {
+	if spliceSafe(reflect.TypeOf(withIface{}), nil) {
+		t.Fatal("interface-bearing type judged splice-safe")
+	}
+	gob.Register(spliceNested{})
+	for i := 0; i < 10; i++ {
+		// Alternate dynamic types — exactly the stream-state growth splicing
+		// cannot survive.
+		var in withIface
+		if i%2 == 0 {
+			in = withIface{Name: "s", V: spliceNested{Peers: []string{"x"}}}
+		} else {
+			in = withIface{Name: "i", V: spliceNested{Tags: map[string]int{"y": i}}}
+		}
+		raw, err := encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out withIface
+		if err := decode(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d: %+v != %+v", i, in, out)
+		}
+	}
+	if spliceSafe(reflect.TypeOf(hotArgs{}), nil) != true {
+		t.Fatal("plain struct judged unsafe")
+	}
+}
+
+// TestSpliceDecodeForeignLayout feeds the decoder blobs whose definition
+// bytes don't match the receiver's own prefix (sender type with an extra
+// field — legal gob, different wire layout). The pool must step aside and
+// the fresh path must decode them.
+func TestSpliceDecodeForeignLayout(t *testing.T) {
+	type sender struct {
+		UID   string
+		Name  string
+		Extra int
+	}
+	type receiver struct {
+		UID  string
+		Name string
+	}
+	// Warm the receiver's decode pool with its own layout first.
+	self, err := encode(receiver{UID: "self", Name: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r receiver
+	for i := 0; i < 3; i++ {
+		if err := decode(self, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	foreign := freshGob(t, sender{UID: "foreign", Name: "f", Extra: 7})
+	for i := 0; i < 3; i++ {
+		var got receiver
+		if err := decode(foreign, &got); err != nil {
+			t.Fatalf("foreign layout decode %d: %v", i, err)
+		}
+		if got.UID != "foreign" || got.Name != "f" {
+			t.Fatalf("foreign decode %d: %+v", i, got)
+		}
+	}
+	// The pool must still work for the native layout afterwards.
+	if err := decode(self, &r); err != nil || r.UID != "self" {
+		t.Fatalf("native decode after foreign traffic: %+v, %v", r, err)
+	}
+}
+
+// TestSpliceConcurrent hammers one type's pools from many goroutines; run
+// under -race this checks the Get/Put discipline.
+func TestSpliceConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in := hotArgs{UID: fmt.Sprintf("g%d-%d", g, i), Data: []byte{byte(g), byte(i)}}
+				raw, err := encode(in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out hotArgs
+				if err := decode(raw, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				if out.UID != in.UID {
+					t.Errorf("got %q, want %q", out.UID, in.UID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,8 +52,13 @@ type batchReply struct {
 }
 
 // Server accepts connections and dispatches requests into a Mux. Each
-// connection is served by one goroutine; each request is dispatched in its
-// own goroutine so a slow handler does not head-of-line-block the link.
+// connection is served by one goroutine; requests are dispatched off the
+// read loop so a slow handler does not head-of-line-block the link. Dispatch
+// runs on a bounded pool of persistent workers, grown lazily up to
+// maxWorkers; when every worker is busy a transient goroutine picks up the
+// frame instead of queueing it, so concurrency stays unbounded (the capacity
+// experiments rely on WithServeLimit being the only bottleneck) while the
+// steady-state request rate stops paying a goroutine spawn per frame.
 type Server struct {
 	mux     *Mux
 	lis     net.Listener
@@ -59,6 +66,10 @@ type Server struct {
 	// limit, when non-nil, is a server-wide semaphore capping concurrent
 	// frame dispatches (see WithServeLimit).
 	limit chan struct{}
+
+	work       chan func()
+	workers    atomic.Int32
+	maxWorkers int32
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -94,10 +105,12 @@ func WithServeLimit(n int) ServerOption {
 // NewServer starts serving m on lis until Close is called.
 func NewServer(lis net.Listener, m *Mux, opts ...ServerOption) *Server {
 	s := &Server{
-		mux:   m,
-		lis:   lis,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		mux:        m,
+		lis:        lis,
+		conns:      make(map[net.Conn]struct{}),
+		done:       make(chan struct{}),
+		work:       make(chan func()),
+		maxWorkers: int32(8 * runtime.GOMAXPROCS(0)),
 	}
 	for _, o := range opts {
 		o(s)
@@ -176,31 +189,77 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		go func(req request) {
-			if s.limit != nil {
-				s.limit <- struct{}{}
-				defer func() { <-s.limit }()
-			}
-			if s.latency > 0 {
-				time.Sleep(s.latency)
-			}
-			var resp response
-			if len(req.Batch) > 0 {
-				resp = response{Seq: req.Seq, Batch: s.mux.dispatchBatch(req.Batch)}
-			} else {
-				reply, err := s.mux.dispatch(req.Service, req.Method, req.Args)
-				resp = response{Seq: req.Seq, Reply: reply}
-				if err != nil {
-					resp.Err = err.Error()
-				}
-			}
-			wmu.Lock()
-			encErr := enc.Encode(resp)
-			wmu.Unlock()
-			if encErr != nil {
-				conn.Close()
-			}
-		}(req)
+		s.dispatchAsync(func() { s.handle(req, conn, enc, &wmu) })
+	}
+}
+
+// handle answers one request frame: capacity gate, modelled latency,
+// dispatch, response write.
+func (s *Server) handle(req request, conn net.Conn, enc *gob.Encoder, wmu *sync.Mutex) {
+	if s.limit != nil {
+		s.limit <- struct{}{}
+		defer func() { <-s.limit }()
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	var resp response
+	if len(req.Batch) > 0 {
+		resp = response{Seq: req.Seq, Batch: s.mux.dispatchBatch(req.Batch)}
+	} else {
+		reply, err := s.mux.dispatch(req.Service, req.Method, req.Args)
+		resp = response{Seq: req.Seq, Reply: reply}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	}
+	wmu.Lock()
+	encErr := enc.Encode(resp)
+	wmu.Unlock()
+	if encErr != nil {
+		conn.Close()
+	}
+}
+
+// dispatchAsync runs fn off the caller's goroutine: on an idle pool worker
+// when one is parked, on a new persistent worker while the pool is below
+// its cap, and on a transient goroutine otherwise — a frame is never queued
+// behind a busy handler.
+func (s *Server) dispatchAsync(fn func()) {
+	select {
+	case s.work <- fn:
+		return
+	default:
+	}
+	for {
+		n := s.workers.Load()
+		if n >= s.maxWorkers {
+			break
+		}
+		if s.workers.CompareAndSwap(n, n+1) {
+			s.wg.Add(1)
+			go s.worker(fn)
+			return
+		}
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+}
+
+// worker runs its first task, then serves the shared queue until Close.
+func (s *Server) worker(fn func()) {
+	defer s.wg.Done()
+	fn()
+	for {
+		select {
+		case fn := <-s.work:
+			fn()
+		case <-s.done:
+			return
+		}
 	}
 }
 

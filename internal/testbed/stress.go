@@ -1,0 +1,71 @@
+package testbed
+
+import (
+	"fmt"
+
+	"bitdew/internal/loadgen"
+	"bitdew/internal/rpc"
+	"bitdew/internal/runtime"
+)
+
+// This file adds the sustained-load scenario to the testbed: where the
+// BLAST runs (sharded.go, churn.go) distribute ONE wave and exit, the
+// stress scenario models the paper's evaluation conditions as steady-state
+// traffic — thousands of simulated clients issuing a configurable mix of
+// put/fetch/schedule/search ops against a real sharded plane for a fixed
+// window, with per-op latency histograms. cmd/bitdew-stress is the CLI over
+// this; BenchmarkSustainedStress and the CI smoke drive it in-process.
+
+// StressConfig parameterises a sustained-load run against an in-process
+// sharded service plane.
+type StressConfig struct {
+	// Shards is the number of service containers (default 2).
+	Shards int
+	// Load configures the generator (clients, duration, warmup, mix,
+	// arrival); see loadgen.Config for the defaults.
+	Load loadgen.Config
+	// Plane configures the client side (connection pool size, payload,
+	// preload, put-slot rings); Addrs is filled in from the booted plane.
+	Plane loadgen.PlaneConfig
+	// RPCOptions configure every shard's rpc server — the host-capacity
+	// model of the scaling experiments (latency injection, serve limits).
+	RPCOptions []rpc.ServerOption
+	// StateDir optionally makes every shard durable.
+	StateDir string
+}
+
+// RunStress boots a sharded plane, drives the mixed workload against it,
+// and folds the outcome into the BENCH_*.json report schema. Operation
+// errors do not fail the run — they are counted in the report for the
+// caller to judge (the CI smoke and the acceptance test demand zero).
+func RunStress(cfg StressConfig) (*loadgen.Report, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	plane, err := runtime.NewShardedContainer(runtime.ShardedConfig{
+		Shards:   cfg.Shards,
+		StateDir: cfg.StateDir,
+		// Stress traffic moves over HTTP; FTP and swarm servers only cost
+		// boot time here.
+		DisableFTP:   true,
+		DisableSwarm: true,
+		RPCOptions:   cfg.RPCOptions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: stress: %w", err)
+	}
+	defer plane.Close()
+
+	cfg.Plane.Addrs = plane.Addrs()
+	clients, err := loadgen.ConnectPlane(cfg.Plane)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: stress: %w", err)
+	}
+	defer clients.Close()
+
+	res, err := loadgen.Run(cfg.Load, clients.Factory())
+	if err != nil {
+		return nil, fmt.Errorf("testbed: stress: %w", err)
+	}
+	return loadgen.BuildReport("stress", res, cfg.Shards, clients.Conns(), clients.PayloadBytes()), nil
+}

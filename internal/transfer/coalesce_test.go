@@ -1,0 +1,115 @@
+package transfer
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bitdew/internal/data"
+	"bitdew/internal/repository"
+)
+
+// TestConcurrentDownloadsCoalesce pins the singleflight behaviour: while a
+// download of a datum is in flight, further Download calls for the same UID
+// return the same handle instead of spawning a second transfer that would
+// interleave appends into the shared backend (and whose failed verification
+// would delete content the first transfer just vouched for).
+func TestConcurrentDownloadsCoalesce(t *testing.T) {
+	f := newFixture(t)
+	content := randBytes(50_000, 30)
+	d := f.seed("shared", content)
+
+	local := repository.NewMemBackend()
+	e := NewEngine(local, f.dtClient, "w", 1)
+	// Occupy the engine's only transfer slot so the first download is
+	// deterministically still in flight when the second request arrives.
+	e.sem <- struct{}{}
+	h1 := e.Download(d, f.locator(d, "http"))
+	h2 := e.Download(d, f.locator(d, "http"))
+	if h1 != h2 {
+		t.Fatal("concurrent downloads of one datum got distinct handles")
+	}
+	<-e.sem
+
+	if err := Barrier(h1, h2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := local.Get(string(d.UID))
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("coalesced download: %d bytes, %v", len(got), err)
+	}
+
+	// The slot is released on completion: a later download is a fresh
+	// transfer, not a stale coalescence onto the finished handle.
+	h3 := e.Download(d, f.locator(d, "http"))
+	if h3 == h1 {
+		t.Fatal("completed download still absorbing new requests")
+	}
+	if err := h3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedDownloadDoesNotPoisonRetry: a failed download must vacate the
+// inflight slot so a caller falling back through alternative locators (the
+// FetchAll healing path) gets a real second attempt.
+func TestFailedDownloadDoesNotPoisonRetry(t *testing.T) {
+	f := newFixture(t)
+	content := randBytes(8_000, 31)
+	d := f.seed("retryable", content)
+
+	local := repository.NewMemBackend()
+	e := NewEngine(local, f.dtClient, "w", 1)
+	e.MaxAttempts = 1
+	dead := data.Locator{DataUID: d.UID, Protocol: "http", Host: "127.0.0.1:1", Ref: string(d.UID)}
+	if err := e.Download(d, dead).Wait(); err == nil {
+		t.Fatal("download from dead host succeeded")
+	}
+	if err := e.Download(d, f.locator(d, "http")).Wait(); err != nil {
+		t.Fatalf("retry with a live locator after a failure: %v", err)
+	}
+	got, _ := local.Get(string(d.UID))
+	if !bytes.Equal(got, content) {
+		t.Fatal("retried download mismatch")
+	}
+}
+
+// TestConcurrentSameUIDHammer is the race the sustained-load harness first
+// exposed: many clients sharing one engine fetch the same datum at once.
+// Without coalescing, interleaved appends fail verification and the cleanup
+// delete destroys content a concurrently-successful download reported good.
+func TestConcurrentSameUIDHammer(t *testing.T) {
+	f := newFixture(t)
+	content := randBytes(120_000, 32)
+	d := f.seed("hot", content)
+
+	local := repository.NewMemBackend()
+	e := NewEngine(local, f.dtClient, "w", 8)
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Download(d, f.locator(d, "http")).Wait(); err != nil {
+				errs <- err
+				return
+			}
+			got, err := local.Get(string(d.UID))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, content) {
+				errs <- fmt.Errorf("content mismatch: %d bytes", len(got))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent same-UID download: %v", err)
+	}
+}

@@ -36,6 +36,15 @@ type Engine struct {
 
 	mu      sync.Mutex
 	handles map[data.UID][]*Handle // by data UID
+	// inflight coalesces concurrent downloads of one datum onto a single
+	// transfer. Two goroutines appending the same stream into one backend
+	// ref interleave into oversized content, which verification then deletes
+	// — possibly right after the OTHER download reported success, stranding
+	// its caller with no content. Under the sustained-load harness (many
+	// clients fetching a shared working set through one engine) that window
+	// is hit constantly; coalescing makes the second caller wait on the
+	// first transfer's handle instead.
+	inflight map[data.UID]*Handle
 }
 
 // NewEngine builds a transfer engine over local storage. dt may be nil
@@ -65,6 +74,7 @@ func NewEngineRouted(backend repository.Backend, dtFor func(data.UID) *Client, h
 		MaxAttempts:   DefaultMaxAttempts,
 		sem:           make(chan struct{}, concurrency),
 		handles:       make(map[data.UID][]*Handle),
+		inflight:      make(map[data.UID]*Handle),
 	}
 }
 
@@ -185,12 +195,35 @@ func (e *Engine) UploadAll(ds []data.Data, locs []data.Locator) []*Handle {
 // registration was already attempted (the batched OpenAll); a zero dtID
 // then means the open failed and the transfer runs unreported rather than
 // re-opening against a service that just refused.
+//
+// Concurrent downloads of one datum coalesce: the second caller gets the
+// first transfer's handle. A download that fails leaves the inflight slot
+// free again, so a caller falling back through alternative locators still
+// launches its own fresh attempt.
 func (e *Engine) start(d data.Data, loc data.Locator, kind string, dtID data.UID, dtOpened bool) *Handle {
-	h := &Handle{DataUID: d.UID, Kind: kind, state: StatePending, done: make(chan struct{})}
 	e.mu.Lock()
+	if kind == "download" {
+		if h := e.inflight[d.UID]; h != nil {
+			e.mu.Unlock()
+			return h
+		}
+	}
+	h := &Handle{DataUID: d.UID, Kind: kind, state: StatePending, done: make(chan struct{})}
+	if kind == "download" {
+		e.inflight[d.UID] = h
+	}
 	e.handles[d.UID] = append(e.handles[d.UID], h)
 	e.mu.Unlock()
-	go e.run(h, d, loc, dtID, dtOpened)
+	go func() {
+		e.run(h, d, loc, dtID, dtOpened)
+		if kind == "download" {
+			e.mu.Lock()
+			if e.inflight[d.UID] == h {
+				delete(e.inflight, d.UID)
+			}
+			e.mu.Unlock()
+		}
+	}()
 	return h
 }
 

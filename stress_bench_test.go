@@ -1,0 +1,94 @@
+package bitdew_test
+
+import (
+	"testing"
+	"time"
+
+	"bitdew/internal/loadgen"
+	"bitdew/internal/testbed"
+)
+
+// ---- Sustained load (the steady-state traffic model) ----
+//
+// The BLAST benchmarks above distribute one wave and exit. This file holds
+// the steady-state complement: cmd/bitdew-stress's mixed put/fetch/
+// schedule/search traffic sustained against a real 2-shard plane, with
+// per-op latency histograms. BenchmarkSustainedStress reports the measured
+// throughput; TestBenchStressAcceptance is the tier-1 guard that the
+// harness itself works (nonzero throughput, zero op errors, sane
+// quantiles) so the CI smoke and BENCH_stress.json trajectory stay honest.
+
+// stressConfig is the shared shape of the short in-process runs here: small
+// enough for CI, large enough that all four op classes fire.
+func stressConfig(d, warmup time.Duration, clients int) testbed.StressConfig {
+	return testbed.StressConfig{
+		Shards: 2,
+		Load: loadgen.Config{
+			Clients:  clients,
+			Duration: d,
+			Warmup:   warmup,
+			Mix:      loadgen.DefaultMix(),
+			Seed:     1,
+		},
+		Plane: loadgen.PlaneConfig{
+			Conns:          4,
+			PayloadBytes:   128,
+			Preload:        32,
+			SlotsPerClient: 4,
+		},
+	}
+}
+
+func BenchmarkSustainedStress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := testbed.RunStress(stressConfig(2*time.Second, 500*time.Millisecond, 32))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d op errors", rep.Errors)
+		}
+		b.ReportMetric(rep.Throughput, "ops/sec")
+		b.ReportMetric(rep.Latency.P99, "p99-ms")
+	}
+}
+
+// TestBenchStressAcceptance locks the harness end to end: a short mixed
+// run against a real 2-shard plane completes with nonzero throughput, zero
+// op errors, ordered latency quantiles, and every op class of the mix
+// present in the report.
+func TestBenchStressAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a sharded plane")
+	}
+	rep, err := testbed.RunStress(stressConfig(1200*time.Millisecond, 300*time.Millisecond, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Throughput <= 0 {
+		t.Fatalf("no measured throughput: ops=%d throughput=%.1f", rep.Ops, rep.Throughput)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d op errors under stress", rep.Errors)
+	}
+	if rep.Latency.P50 > rep.Latency.P99 || rep.Latency.P99 > rep.Latency.P999 {
+		t.Fatalf("quantiles out of order: p50=%.3f p99=%.3f p999=%.3f",
+			rep.Latency.P50, rep.Latency.P99, rep.Latency.P999)
+	}
+	if rep.Latency.Max < rep.Latency.P999 {
+		t.Fatalf("max %.3f below p999 %.3f", rep.Latency.Max, rep.Latency.P999)
+	}
+	for _, class := range []string{"put", "fetch", "schedule", "search"} {
+		op, ok := rep.PerOp[class]
+		if !ok || op.Ops == 0 {
+			t.Errorf("op class %s missing from report", class)
+			continue
+		}
+		if op.Errors != 0 {
+			t.Errorf("op class %s: %d errors", class, op.Errors)
+		}
+	}
+	if rep.Scenario.Shards != 2 {
+		t.Fatalf("scenario shards = %d", rep.Scenario.Shards)
+	}
+}
