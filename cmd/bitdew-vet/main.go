@@ -1,0 +1,82 @@
+// Command bitdew-vet is the project's multichecker: it runs the stock go
+// vet passes plus the bitdew-specific analyzers (internal/analysis/passes)
+// that encode the service plane's concurrency, wire-format and timeout
+// invariants as machine-checked gates.
+//
+// Usage:
+//
+//	go run ./cmd/bitdew-vet ./...          # whole module (CI runs this)
+//	go run ./cmd/bitdew-vet ./internal/rpc # one package
+//	go run ./cmd/bitdew-vet -list          # describe the analyzers
+//
+// Exit status is 1 when any diagnostic is reported. False positives are
+// silenced in place with a documented suppression:
+//
+//	//vet:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it; the reason is mandatory. See
+// DESIGN.md "Static analysis & invariants" for each analyzer's contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	nostock := flag.Bool("nostock", false, "skip the stock `go vet` passes")
+	flag.Parse()
+	if err := run(*list, *nostock, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var errFindings = fmt.Errorf("bitdew-vet: diagnostics reported")
+
+func run(list, nostock bool, patterns []string) error {
+	if list {
+		for _, a := range suite() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return nil
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	n, err := runVet(moduleDir, patterns, !nostock)
+	if err != nil {
+		return fmt.Errorf("bitdew-vet: %w", err)
+	}
+	if n > 0 {
+		return errFindings
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bitdew-vet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

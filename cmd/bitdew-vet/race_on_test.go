@@ -1,0 +1,11 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this build runs under the race detector. The
+// whole-module analysis test skips itself there: loading and type-checking
+// every package is pure single-goroutine CPU work that race instrumentation
+// slows severalfold, starving the throughput acceptance tests that share
+// the `go test -race ./...` run — and CI runs bitdew-vet over the module
+// as its own required step anyway.
+const raceEnabled = true

@@ -1,0 +1,54 @@
+// Package badpkg violates one invariant per bitdew-vet analyzer; the
+// multichecker test asserts the exact five diagnostics.
+package badpkg
+
+import (
+	"sync"
+	"time"
+
+	"rpc"
+)
+
+type Payload struct {
+	Name string
+	Blob any
+}
+
+type Service struct {
+	mu sync.Mutex
+	c  rpc.Client
+}
+
+// spliceiface: Payload reaches an interface.
+func registerBad(m *rpc.Mux) {
+	rpc.Register(m, "svc", "m", func(p Payload) (struct{}, error) { return struct{}{}, nil })
+}
+
+// lockheld: rpc call under the mutex.
+func (s *Service) lockedCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.c.Call("svc", "m", nil, nil)
+}
+
+// rpcdeadline: dial site without a call timeout.
+func dialBad() (rpc.Client, error) {
+	return rpc.DialAuto("addr")
+}
+
+// errlost: batch shipped, outcome dropped.
+func batchBad(c rpc.Client) {
+	calls := []*rpc.Call{rpc.NewCall("svc", "m", nil, nil)}
+	c.CallBatch(calls)
+}
+
+// leakygo: constructor goroutine with no exit.
+func NewService() *Service {
+	s := &Service{}
+	go func() {
+		for {
+			_ = time.Now() // busy loop: no stop channel, no return
+		}
+	}()
+	return s
+}

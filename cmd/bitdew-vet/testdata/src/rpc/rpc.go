@@ -1,0 +1,42 @@
+// Package rpc is the end-to-end stub of bitdew/internal/rpc for the
+// bitdew-vet multichecker test (same convention as the per-pass fixtures).
+package rpc
+
+import "time"
+
+type Mux struct{}
+
+type Client interface {
+	Call(service, method string, args, reply any) error
+	CallBatch(calls []*Call) error
+	Close() error
+}
+
+type Call struct {
+	Service, Method string
+	Args, Reply     any
+	Err             error
+}
+
+type DialOption func()
+
+func NewCall(service, method string, args, reply any) *Call {
+	return &Call{Service: service, Method: method, Args: args, Reply: reply}
+}
+
+func Register[A, R any](m *Mux, service, method string, fn func(A) (R, error)) {}
+
+func Dial(addr string, opts ...DialOption) (Client, error)     { return nil, nil }
+func DialAuto(addr string, opts ...DialOption) (Client, error) { return nil, nil }
+func WithCallTimeout(d time.Duration) DialOption               { return func() {} }
+
+func CallBatch(c Client, calls []*Call) error { return c.CallBatch(calls) }
+
+func FirstError(calls []*Call) error {
+	for _, call := range calls {
+		if call.Err != nil {
+			return call.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"os"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/vet"
+)
+
+// suite and runVet isolate main from the library so main.go reads as pure
+// CLI plumbing.
+func suite() []*analysis.Analyzer { return vet.Suite() }
+
+func runVet(moduleDir string, patterns []string, stock bool) (int, error) {
+	return vet.Run(vet.Options{ModuleDir: moduleDir, Stock: stock}, patterns, os.Stdout)
+}

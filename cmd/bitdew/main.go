@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"bitdew/internal/attr"
 	"bitdew/internal/core"
@@ -106,7 +107,7 @@ func cmdWhere(node *core.Node, set *core.ShardSet, addrs []string, args []string
 
 // cmdRing fetches and prints the membership table one shard serves.
 func cmdRing(addr string) {
-	c, err := rpc.DialAuto(addr)
+	c, err := rpc.DialAuto(addr, rpc.WithCallTimeout(10*time.Second))
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", addr, err)
 	}

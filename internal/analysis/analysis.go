@@ -1,0 +1,189 @@
+// Package analysis is a self-contained, dependency-free analogue of
+// golang.org/x/tools/go/analysis: the substrate on which bitdew-vet's
+// project-specific analyzers run. The module builds offline by design
+// (ROADMAP: no third-party deps), so instead of importing x/tools this
+// package re-creates the small slice of its API the suite needs —
+// Analyzer, Pass, Diagnostic — on top of go/ast and go/types alone.
+//
+// The suite exists for the same reason the runtime has a WAL and the rpc
+// layer has a splice-safety gate: BitDew's promises (paper §2 — resilience
+// and schedulable transfers guaranteed by the runtime, not by programmer
+// discipline) only hold while a handful of cross-cutting invariants hold.
+// Those invariants were previously enforced by convention and by whichever
+// race the stress harness happened to trip; each analyzer in passes/ turns
+// one of them into a machine-checked CI gate. See DESIGN.md "Static
+// analysis & invariants".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. Mirrors the x/tools type of
+// the same name so the passes read like stock go/analysis code (and could
+// be ported to the real framework wholesale if the offline constraint ever
+// lifts).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //vet:ignore
+	// suppressions. Lower-case, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces; the first line is
+	// shown by bitdew-vet -list.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf. A non-nil error aborts the whole vet run (reserved for
+	// analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col style of go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is the suppression marker. A comment of the form
+//
+//	//vet:ignore <analyzer> <reason>
+//
+// on the flagged line (or alone on the line directly above it) silences
+// that analyzer for that line. The reason is mandatory: a suppression is a
+// documented design decision (e.g. a deliberately best-effort CallBatch),
+// and a bare one is itself reported as a finding.
+const ignoreDirective = "//vet:ignore"
+
+// suppression is one parsed //vet:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving diagnostics: findings on lines carrying a well-formed
+// //vet:ignore for that analyzer are dropped, malformed or unused
+// suppressions are themselves reported. Diagnostics come back sorted by
+// position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = applySuppressions(diags, fset, files)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// applySuppressions filters diags through the files' //vet:ignore comments
+// and appends diagnostics for malformed suppressions (missing reason).
+func applySuppressions(diags []Diagnostic, fset *token.FileSet, files []*ast.File) []Diagnostic {
+	// (file, line, analyzer) -> suppression
+	index := make(map[string]*suppression)
+	var all []*suppression
+	key := func(file string, line int, analyzer string) string {
+		return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+	}
+	// ignoreLines records which lines hold //vet:ignore comments, so a
+	// stack of suppressions above one statement all reach past each other
+	// to the flagged line.
+	ignoreLines := make(map[string]bool) // "file:line"
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ignoreLines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				s := &suppression{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
+				all = append(all, s)
+			}
+		}
+	}
+	for _, s := range all {
+		if s.analyzer == "" || s.reason == "" {
+			continue // malformed; reported below, suppresses nothing
+		}
+		// The suppression covers its own line (trailing comment) and the
+		// next non-suppression line (comment line above the flagged
+		// statement, possibly below further stacked suppressions).
+		index[key(s.pos.Filename, s.pos.Line, s.analyzer)] = s
+		next := s.pos.Line + 1
+		for ignoreLines[fmt.Sprintf("%s:%d", s.pos.Filename, next)] {
+			next++
+		}
+		index[key(s.pos.Filename, next, s.analyzer)] = s
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if index[key(d.Pos.Filename, d.Pos.Line, d.Analyzer)] != nil {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, s := range all {
+		if s.analyzer == "" || s.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "suppress",
+				Message:  "malformed //vet:ignore: want \"//vet:ignore <analyzer> <reason>\" with a non-empty reason",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against // want comments, mirroring the x/tools
+// package of the same name (see internal/analysis for why the framework is
+// re-created locally).
+//
+// Fixtures follow the x/tools layout: a testdata directory containing
+// src/<importpath>/*.go. A line expecting diagnostics carries a trailing
+// comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted regular expression per expected diagnostic on that line.
+// Every reported diagnostic must be matched by a want, and every want must
+// be matched by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/load"
+)
+
+// wantRe extracts the trailing want comment of a line.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// moduleRoot locates the repository root relative to this source file.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+// Run loads each fixture package from testdata (a directory containing
+// src/), applies the analyzer, and diffs diagnostics against the // want
+// comments of the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root := moduleRoot(t)
+	l, err := load.New(root, testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants := collectWants(t, l.Fset, pkg.Files)
+		for _, d := range diags {
+			if !matchWant(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", path, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses the // want comments of the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted splits `"a" "b"` into its quoted fields, keeping the quotes.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			break
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// matchWant marks and reports the first unmatched want covering d.
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture returns the testdata directory next to the calling test file,
+// the conventional location for an analyzer's golden packages.
+func Fixture(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}

@@ -1,0 +1,310 @@
+// Package load parses and type-checks packages for the bitdew-vet
+// analyzers without golang.org/x/tools/go/packages (the module builds
+// offline; see internal/analysis). It understands three kinds of import
+// paths:
+//
+//   - paths inside this module ("bitdew/..."): resolved against the module
+//     root and type-checked recursively, results cached;
+//   - fixture paths rooted at an extra GOPATH-style directory (a
+//     testdata/src tree, the layout x/tools' analysistest uses): resolved
+//     there first, so fixtures can ship stub "rpc"-like packages;
+//   - everything else: delegated to the standard library's source
+//     importer, which type-checks GOROOT packages from source — no
+//     compiled export data needed.
+//
+// Test files (_test.go) are excluded: the invariants the suite enforces
+// live in production code, and external test packages would need a second
+// type-checking universe for little gain.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads packages into a shared FileSet and type universe.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleDir  string // absolute directory holding go.mod
+	modulePath string // module path declared there
+	extraRoots []string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a Loader for the module rooted at moduleDir (the directory
+// containing go.mod). extraRoots are GOPATH-style roots — each containing
+// a src/ directory — consulted before the module for import resolution;
+// analysistest passes fixture testdata directories here.
+func New(moduleDir string, extraRoots ...string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		moduleDir:  abs,
+		modulePath: modPath,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	for _, r := range extraRoots {
+		ar, err := filepath.Abs(r)
+		if err != nil {
+			return nil, err
+		}
+		l.extraRoots = append(l.extraRoots, ar)
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("load: source importer unavailable")
+	}
+	l.std = std
+	return l, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	raw, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s", gomod)
+}
+
+// Expand resolves package patterns relative to the module root into import
+// paths. Supported forms: "./..." (every package under the module), a
+// "./dir[/...]" path, or a plain import path inside the module. Directories
+// named testdata and hidden directories are skipped, as the go tool does.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkPackages(l.moduleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			dir := filepath.Join(l.moduleDir, strings.TrimSuffix(pat, "/..."))
+			paths, err := l.walkPackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel, err := filepath.Rel(l.moduleDir, filepath.Join(l.moduleDir, pat))
+			if err != nil {
+				return nil, err
+			}
+			if rel == "." {
+				add(l.modulePath)
+			} else {
+				add(l.modulePath + "/" + filepath.ToSlash(rel))
+			}
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}
+
+// walkPackages lists the import path of every directory under root that
+// holds at least one buildable non-test .go file.
+func (l *Loader) walkPackages(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := l.sourceFiles(path)
+		if err != nil || len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.moduleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.modulePath)
+		} else {
+			out = append(out, l.modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// sourceFiles lists the buildable non-test .go files of dir, honouring
+// build constraints for the host platform.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirFor maps an import path to the directory to load it from, or "" when
+// the path belongs to neither the module nor an extra root (i.e. it is a
+// standard-library path).
+func (l *Loader) dirFor(path string) string {
+	for _, root := range l.extraRoots {
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Load type-checks the package at the given import path (module-internal
+// or fixture), loading its module/fixture dependencies recursively.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %s: not in module %s or fixture roots", path, l.modulePath)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: %s: no buildable Go files in %s", path, dir)
+	}
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		parsed = append(parsed, af)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &loaderImporter{l: l},
+	}
+	tpkg, err := conf.Check(path, l.Fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: parsed, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter routes import requests: module and fixture paths go back
+// through the Loader, everything else to the stdlib source importer.
+type loaderImporter struct {
+	l *Loader
+}
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, li.l.moduleDir, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if li.l.dirFor(path) != "" {
+		p, err := li.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return li.l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,105 @@
+package load
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this source file's position,
+// so the tests work regardless of the package the test binary runs in.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("bitdew/internal/attr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatalf("incomplete package: %+v", p)
+	}
+	obj := p.Types.Scope().Lookup("Parse")
+	if obj == nil {
+		t.Fatal("attr.Parse not found in loaded package scope")
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		t.Fatalf("attr.Parse is %T, want *types.Func", obj)
+	}
+}
+
+// TestLoadTransitive loads a package whose dependency closure spans both
+// module-internal packages and the networked standard library, proving the
+// split importer resolves each side correctly.
+func TestLoadTransitive(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("bitdew/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "bitdew/internal/rpc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("core's type-checked imports do not include bitdew/internal/rpc")
+	}
+	// Loading again must come from cache: identical *types.Package.
+	q, err := l.Load("bitdew/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Types != p.Types {
+		t.Fatal("second Load returned a different types.Package (cache miss)")
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"bitdew":              false, // root package (doc.go)
+		"bitdew/internal/rpc": false,
+		"bitdew/cmd/bitdew":   false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("Expand(./...) missing %s (got %d paths)", p, len(paths))
+		}
+	}
+
+	single, err := l.Expand([]string{"./internal/attr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || single[0] != "bitdew/internal/attr" {
+		t.Fatalf("Expand(./internal/attr) = %v", single)
+	}
+}

@@ -1,0 +1,12 @@
+package errlost_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/errlost"
+)
+
+func TestErrlost(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), errlost.Analyzer, "errlost")
+}

@@ -1,0 +1,75 @@
+// Fixture for the errlost analyzer: batch errors must be checked.
+package errlost
+
+import "rpc"
+
+// BD stands in for the batch-first core APIs.
+type BD struct{}
+
+func (BD) PutAll(ds []string) error    { return nil }
+func (BD) FetchAll(ds []string) error  { return nil }
+func (BD) SubmitAll(ds []string) error { return nil }
+func (BD) Fetch(d string) error        { return nil } // not a batch endpoint
+
+func dropsFrameError(c rpc.Client) {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	c.CallBatch(calls) // want "result of CallBatch discarded"
+	_ = rpc.FirstError(calls)
+}
+
+func dropsFrameErrorBlank(c rpc.Client) {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	_ = c.CallBatch(calls) // want "result of CallBatch discarded"
+	_ = rpc.FirstError(calls)
+}
+
+func neverExaminesPerCall(c rpc.Client) error {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	return c.CallBatch(calls) // want "per-call errors of CallBatch never examined"
+}
+
+func checksFirstError(c rpc.Client) error {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	if err := c.CallBatch(calls); err != nil {
+		return err
+	}
+	return rpc.FirstError(calls)
+}
+
+func checksEachErr(c rpc.Client) error {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	if err := rpc.CallBatch(c, calls); err != nil {
+		return err
+	}
+	for _, call := range calls {
+		if call.Err != nil {
+			return call.Err
+		}
+	}
+	return nil
+}
+
+func forwardsParameterBatch(c rpc.Client, calls []*rpc.Call) error {
+	// calls is owned by the caller, which does the checking.
+	return c.CallBatch(calls)
+}
+
+func suppressedBestEffort(c rpc.Client) {
+	calls := []*rpc.Call{rpc.NewCall("s", "m", nil, nil)}
+	//vet:ignore errlost best-effort rollback; outcome deliberately ignored
+	c.CallBatch(calls)
+}
+
+func endpointDrops(b BD) {
+	b.PutAll(nil)       // want "error of batch endpoint PutAll dropped"
+	_ = b.FetchAll(nil) // want "error of batch endpoint FetchAll dropped"
+	go b.SubmitAll(nil) // want "error of batch endpoint SubmitAll dropped"
+	b.Fetch("one")      // single-datum endpoint: out of scope here
+}
+
+func endpointChecked(b BD) error {
+	if err := b.PutAll(nil); err != nil {
+		return err
+	}
+	return b.FetchAll(nil)
+}

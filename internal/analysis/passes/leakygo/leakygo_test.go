@@ -1,0 +1,12 @@
+package leakygo_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/leakygo"
+)
+
+func TestLeakygo(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), leakygo.Analyzer, "leakygo")
+}

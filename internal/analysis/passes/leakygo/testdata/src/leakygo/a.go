@@ -1,0 +1,105 @@
+// Fixture for the leakygo analyzer: constructor-started goroutines must
+// have a reachable exit.
+package leakygo
+
+import "time"
+
+type Server struct {
+	done chan struct{}
+	work chan func()
+}
+
+func NewLeakyLiteral() *Server {
+	s := &Server{}
+	go func() {
+		for { // want "goroutine started by a constructor loops forever with no exit"
+			time.Sleep(time.Second)
+		}
+	}()
+	return s
+}
+
+func NewLeakyMethod() *Server {
+	s := &Server{}
+	go s.tickForever()
+	return s
+}
+
+func (s *Server) tickForever() {
+	for { // want "goroutine started by a constructor loops forever with no exit"
+		time.Sleep(time.Second)
+	}
+}
+
+func NewStoppable() *Server {
+	s := &Server{done: make(chan struct{}), work: make(chan func())}
+	go s.loop()
+	go func() {
+		for {
+			select {
+			case fn := <-s.work:
+				fn()
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *Server) loop() {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func NewExitsOnError(read func() error) *Server {
+	s := &Server{}
+	go func() {
+		for {
+			if err := read(); err != nil {
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func NewBoundedWork(items []int) *Server {
+	s := &Server{}
+	go func() {
+		total := 0
+		for _, it := range items {
+			total += it
+		}
+	}()
+	return s
+}
+
+func NewNestedBreakDoesNotCount() *Server {
+	s := &Server{}
+	go func() {
+		for { // want "goroutine started by a constructor loops forever with no exit"
+			for i := 0; i < 3; i++ {
+				break // binds to the inner loop only
+			}
+		}
+	}()
+	return s
+}
+
+func helperNotConstructor() {
+	// Out of scope: not a constructor shape. Other passes (and reviews)
+	// own ad-hoc goroutines.
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -1,0 +1,240 @@
+// Package lockheld forbids blocking RPC and network operations while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// The hazard class is real and local: the transfer-engine download race of
+// PR 4 was fixed with a singleflight precisely because slow I/O and locks
+// compose badly, and a Dial or Call under a struct mutex turns every other
+// method of that struct — including Close — into a hostage of the network
+// (an unreachable peer holds the lock for the whole connect timeout). The
+// analyzer tracks Lock/RLock→Unlock regions inside each function body and
+// flags calls to:
+//
+//   - any method named Call or CallBatch (the rpc client surface);
+//   - rpc.Dial, rpc.DialAuto, rpc.DialAutoLazy, rpc.Listen;
+//   - net.Dial, net.DialTimeout, net.Listen;
+//   - time.Sleep.
+//
+// Deliberate disk I/O under a lock (the db WAL, whose ordering guarantee
+// IS the lock) is out of scope by construction: file operations are not in
+// the deny list.
+//
+// The analysis is intra-procedural and syntactic about regions: a lock
+// acquired and released inside a nested block is tracked there, and
+// function literals are only entered when invoked immediately — a deferred
+// or go'd literal does not run under the caller's lock.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "no RPC, dial or sleep while holding a sync.Mutex/RWMutex\n\n" +
+		"A blocking network operation under a lock makes every other method of the guarded " +
+		"struct wait out the network; Close and introspection must stay reachable during a redial.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockMethod classifies a call as a sync lock-surface method, returning
+// the receiver expression's printed form and the method name.
+func lockMethod(info *types.Info, call *ast.CallExpr) (recv, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// checkBody scans one function body. held maps receiver expression strings
+// to the position of the Lock that acquired them; scanning a nested block
+// copies the map so branch-local lock state never leaks out.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	scanStmts(pass, body.List, map[string]ast.Node{})
+}
+
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]ast.Node) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if recv, name := lockMethod(pass.TypesInfo, call); recv != "" {
+					switch name {
+					case "Lock", "RLock":
+						held[recv] = call
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the remainder of
+			// the function — which is exactly the region to scan — so it
+			// does not release. Other deferred work runs at return, outside
+			// any region this scan can reason about; skip it.
+			continue
+		case *ast.GoStmt:
+			// The goroutine body does not run under the caller's lock.
+			continue
+		}
+		if len(held) > 0 {
+			reportBlocked(pass, s, held)
+		}
+		// Recurse into compound statements with a branch-local copy.
+		for _, inner := range innerBlocks(s) {
+			scanStmts(pass, inner, copyHeld(held))
+		}
+	}
+}
+
+// innerBlocks lists the nested statement lists of a compound statement.
+func innerBlocks(s ast.Stmt) [][]ast.Stmt {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{st.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{st.Body.List}
+		if st.Else != nil {
+			out = append(out, []ast.Stmt{st.Else})
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{st.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{st.Body.List}
+	case *ast.SwitchStmt:
+		return clauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		return clauses(st.Body)
+	case *ast.SelectStmt:
+		return clauses(st.Body)
+	case *ast.LabeledStmt:
+		return [][]ast.Stmt{{st.Stmt}}
+	}
+	return nil
+}
+
+func clauses(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, cc.Body)
+		case *ast.CommClause:
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func copyHeld(held map[string]ast.Node) map[string]ast.Node {
+	out := make(map[string]ast.Node, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// reportBlocked flags deny-listed calls appearing directly in s (not in
+// nested statements — those are scanned with their own region state — and
+// not in un-invoked function literals).
+func reportBlocked(pass *analysis.Pass, s ast.Stmt, held map[string]ast.Node) {
+	shallowInspect(s, func(call *ast.CallExpr) {
+		fn := astq.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		var what string
+		switch {
+		case astq.IsMethodNamed(fn, "", "Call", "CallBatch"):
+			what = "rpc " + fn.Name()
+		case astq.IsPkgFunc(fn, "rpc", "Dial"), astq.IsPkgFunc(fn, "rpc", "DialAuto"),
+			astq.IsPkgFunc(fn, "rpc", "DialAutoLazy"), astq.IsPkgFunc(fn, "rpc", "Listen"):
+			what = "rpc." + fn.Name()
+		case isNetFunc(fn):
+			what = "net." + fn.Name()
+		case astq.IsPkgFunc(fn, "time", "Sleep"):
+			what = "time.Sleep"
+		default:
+			return
+		}
+		for recv := range held {
+			pass.Reportf(call.Pos(),
+				"%s while holding %s: blocking network work under a mutex wedges every contender (move the call outside the critical section)",
+				what, recv)
+			return // one report per call is enough
+		}
+	})
+}
+
+func isNetFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+		return false
+	}
+	switch fn.Name() {
+	case "Dial", "DialTimeout", "Listen":
+		return true
+	}
+	return false
+}
+
+// shallowInspect visits call expressions in the statement's expression
+// trees, descending into nested statements only through expressions, and
+// into function literals only when they are invoked in place.
+func shallowInspect(s ast.Stmt, visit func(*ast.CallExpr)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			// Nested statement lists get their own scan with copied state.
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.FuncLit:
+			// Entered only via the CallExpr case below when invoked
+			// immediately.
+			return false
+		case *ast.CallExpr:
+			visit(nn)
+			if lit, ok := ast.Unparen(nn.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						visit(c)
+					}
+					return true
+				})
+			}
+			return true
+		}
+		return true
+	})
+}

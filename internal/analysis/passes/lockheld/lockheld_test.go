@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), lockheld.Analyzer, "lockheld")
+}

@@ -1,0 +1,92 @@
+// Fixture for the lockheld analyzer: no RPC, dial or sleep while a
+// sync.Mutex/RWMutex is held.
+package lockheld
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"rpc"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	c  rpc.Client
+}
+
+func (s *S) badCall() {
+	s.mu.Lock()
+	s.c.Call("a", "b", nil, nil) // want "rpc Call while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) badDialUnderDefer() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := rpc.Dial("addr") // want "rpc.Dial while holding s.mu"
+	return err
+}
+
+func (s *S) badSleepUnderRLock() {
+	s.rw.RLock()
+	time.Sleep(time.Second) // want "time.Sleep while holding s.rw"
+	s.rw.RUnlock()
+}
+
+func (s *S) badBatchInBranch() {
+	s.mu.Lock()
+	if s.c != nil {
+		_ = s.c.CallBatch(nil) // want "rpc CallBatch while holding s.mu"
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) badNetDial() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = net.Dial("tcp", "addr") // want "net.Dial while holding s.mu"
+}
+
+func (s *S) goodAfterUnlock() {
+	s.mu.Lock()
+	c := s.c
+	s.mu.Unlock()
+	_ = c.Call("a", "b", nil, nil)
+}
+
+func (s *S) goodGoroutine() {
+	s.mu.Lock()
+	go func() {
+		_ = s.c.Call("a", "b", nil, nil) // runs without the caller's lock
+	}()
+	s.mu.Unlock()
+}
+
+func (s *S) goodBranchLocalLock() {
+	if s.c != nil {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	_ = s.c.Call("a", "b", nil, nil)
+}
+
+func (s *S) goodReleasedInBranchStaysHeldOutside() {
+	// An unlock inside a branch must not leak out: the conservative model
+	// keeps the lock held after the if, so the trailing dial is flagged.
+	s.mu.Lock()
+	if s.c == nil {
+		s.mu.Unlock()
+		return
+	}
+	_, _ = rpc.DialAuto("addr") // want "rpc.DialAuto while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) goodSuppressed() {
+	s.mu.Lock()
+	//vet:ignore lockheld fixture-documented exception with a reason
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

@@ -1,0 +1,154 @@
+// Package rpcdeadline enforces the timeout discipline of the service
+// plane: RPC work must always be bounded in time.
+//
+// Two rules, both drawn from the plane's failure model (a service host may
+// stop answering at any moment — the paper's transient-fault model — and a
+// frame may be lost without the connection dying):
+//
+//  1. Retry loops must be bounded. A `for { ... }` (or `for true`) loop
+//     that performs rpc calls, dials or sleeps must reference a deadline
+//     facility: a bounded attempt count belongs in the loop condition, a
+//     time budget in a time.Now/After/Since check, a context in a
+//     ctx.Done() select, or a stop channel in a select receive. A bare
+//     retries-forever loop turns one lost frame into a wedged goroutine.
+//
+//  2. Service-plane dial sites must arm a call deadline. Outside the rpc
+//     package itself, rpc.Dial / rpc.DialAuto / rpc.DialAutoLazy call
+//     sites must pass rpc.WithCallTimeout(...): without it a request whose
+//     response frame never arrives blocks its caller forever (the
+//     transport only fails pending calls when the connection breaks — a
+//     hung peer breaks nothing).
+package rpcdeadline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rpcdeadline",
+	Doc: "service-plane RPC must be time-bounded: no retries-forever loops, no dial sites without a call timeout\n\n" +
+		"Unbounded loops around Call/Dial/Sleep and rpc dial sites missing rpc.WithCallTimeout are flagged.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inRPCPkg := astq.PkgIs(pass.Pkg, "rpc")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.ForStmt:
+				if isUnconditional(nn) {
+					checkLoop(pass, nn)
+				}
+			case *ast.CallExpr:
+				if !inRPCPkg {
+					checkDialSite(pass, nn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isUnconditional reports loops of the form `for { ... }` or `for true`.
+func isUnconditional(f *ast.ForStmt) bool {
+	if f.Cond == nil {
+		return true
+	}
+	id, ok := ast.Unparen(f.Cond).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// checkLoop flags an unconditional loop doing blocking RPC-ish work with
+// no deadline facility in sight.
+func checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	var blocking *ast.CallExpr
+	var blockingWhat string
+	bounded := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own goroutine/schedule
+		case *ast.SelectStmt:
+			// A select with a real receive case is a stop/timeout point.
+			for _, c := range nn.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					bounded = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// A bare channel receive blocks until signalled — the loop is
+			// paced by a channel, not spinning on the network.
+			if nn.Op == token.ARROW {
+				bounded = true
+			}
+		case *ast.CallExpr:
+			fn := astq.Callee(pass.TypesInfo, nn)
+			switch {
+			case isDeadlineFunc(fn):
+				bounded = true
+			case blocking == nil && astq.IsMethodNamed(fn, "", "Call", "CallBatch"):
+				blocking, blockingWhat = nn, "rpc "+fn.Name()
+			case blocking == nil && (astq.IsPkgFunc(fn, "rpc", "Dial") || astq.IsPkgFunc(fn, "rpc", "DialAuto") ||
+				astq.IsPkgFunc(fn, "rpc", "DialAutoLazy") || astq.IsPkgFunc(fn, "rpc", "CallBatch")):
+				blocking, blockingWhat = nn, "rpc."+fn.Name()
+			case blocking == nil && astq.IsPkgFunc(fn, "time", "Sleep"):
+				blocking, blockingWhat = nn, "time.Sleep polling"
+			}
+		}
+		return true
+	})
+	if blocking != nil && !bounded {
+		pass.Reportf(blocking.Pos(),
+			"%s inside an unbounded for-loop with no deadline: bound the retries (attempt budget, time.Now deadline, context or stop-channel select) so a dead peer cannot wedge this goroutine forever",
+			blockingWhat)
+	}
+}
+
+// isDeadlineFunc recognizes the time/context calls that make an infinite
+// loop time-bounded or cancellable.
+func isDeadlineFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "After", "Since", "Until", "NewTimer":
+			return true
+		}
+	case "context":
+		// Covers ctx.Done()/Deadline()/Err() too: methods of the
+		// context.Context interface resolve to package context.
+		return true
+	}
+	return false
+}
+
+// checkDialSite flags rpc dial calls missing a WithCallTimeout option.
+func checkDialSite(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := astq.Callee(pass.TypesInfo, call)
+	if !astq.IsPkgFunc(fn, "rpc", "Dial") && !astq.IsPkgFunc(fn, "rpc", "DialAuto") &&
+		!astq.IsPkgFunc(fn, "rpc", "DialAutoLazy") {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // opts forwarded wholesale; the originating site is checked
+	}
+	for _, arg := range call.Args[1:] {
+		if opt, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if astq.IsPkgFunc(astq.Callee(pass.TypesInfo, opt), "rpc", "WithCallTimeout") {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"rpc.%s without rpc.WithCallTimeout: a peer that stops answering (without closing the connection) blocks callers forever; arm a per-call deadline",
+		fn.Name())
+}

@@ -1,0 +1,12 @@
+package rpcdeadline_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/rpcdeadline"
+)
+
+func TestRpcdeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), rpcdeadline.Analyzer, "rpcdeadline")
+}

@@ -1,0 +1,12 @@
+package spliceiface_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/spliceiface"
+)
+
+func TestSpliceiface(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), spliceiface.Analyzer, "spliceiface")
+}

@@ -1,0 +1,104 @@
+// Package vet assembles the bitdew analyzer suite and drives it over
+// packages: the library behind cmd/bitdew-vet, factored out so the
+// multichecker's end-to-end behaviour is testable without executing a
+// built binary.
+package vet
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/load"
+	"bitdew/internal/analysis/passes/errlost"
+	"bitdew/internal/analysis/passes/leakygo"
+	"bitdew/internal/analysis/passes/lockheld"
+	"bitdew/internal/analysis/passes/rpcdeadline"
+	"bitdew/internal/analysis/passes/spliceiface"
+)
+
+// Suite returns the project analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		spliceiface.Analyzer,
+		lockheld.Analyzer,
+		rpcdeadline.Analyzer,
+		errlost.Analyzer,
+		leakygo.Analyzer,
+	}
+}
+
+// Options configure a Run.
+type Options struct {
+	// ModuleDir is the directory holding go.mod.
+	ModuleDir string
+	// ExtraRoots are additional GOPATH-style fixture roots (tests only).
+	ExtraRoots []string
+	// Stock also runs `go vet` over the same patterns first, so the
+	// binary subsumes the standard passes.
+	Stock bool
+	// Analyzers overrides Suite() when non-nil.
+	Analyzers []*analysis.Analyzer
+}
+
+// Run loads every package matched by patterns, applies the suite, and
+// writes diagnostics to w in go-vet style. It returns the number of
+// diagnostics; err is reserved for operational failures (unparseable
+// source, unknown package), not findings.
+func Run(opts Options, patterns []string, w io.Writer) (int, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Suite()
+	}
+	count := 0
+	if opts.Stock {
+		n, err := runStockVet(opts.ModuleDir, patterns, w)
+		if err != nil {
+			return count, err
+		}
+		count += n
+	}
+	l, err := load.New(opts.ModuleDir, opts.ExtraRoots...)
+	if err != nil {
+		return count, err
+	}
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return count, err
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return count, err
+		}
+		diags, err := analysis.RunAnalyzers(analyzers, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+			count++
+		}
+	}
+	return count, nil
+}
+
+// runStockVet shells out to `go vet`, streaming its findings to w. A
+// non-zero exit with output counts as findings, not as an operational
+// error.
+func runStockVet(moduleDir string, patterns []string, w io.Writer) (int, error) {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Dir = moduleDir
+	out, err := cmd.CombinedOutput()
+	if len(out) > 0 {
+		w.Write(out)
+	}
+	if err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1, nil // findings already streamed
+		}
+		return 0, fmt.Errorf("vet: running go vet: %w", err)
+	}
+	return 0, nil
+}

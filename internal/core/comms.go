@@ -45,13 +45,24 @@ type Comms struct {
 	underlying []rpc.Client
 }
 
+// DefaultCallTimeout bounds every call made over a Connect*-built
+// connection. A service host that stops answering without closing the
+// connection (kernel keeps the TCP session alive, process is wedged) would
+// otherwise block the caller forever — outside the reconnect layer's reach,
+// which only sees closed connections. Generous enough for the slowest
+// emulated deployment in the experiment suite, including convoyed batches
+// behind WithServeLimit.
+const DefaultCallTimeout = 2 * time.Minute
+
 // Connect dials the service host at addr over TCP for all four services.
 // The connection reconnects itself: when a service host bounces (the
 // paper's transient fault model — an administrator restarts it), calls
 // failing at the transport level are retried on a fresh connection instead
-// of wedging the client, so a node rides through a D* restart.
+// of wedging the client, so a node rides through a D* restart. Calls are
+// deadline-bounded (DefaultCallTimeout) so a wedged-but-connected host
+// surfaces as rpc.ErrDeadline instead of a hang.
 func Connect(addr string) (*Comms, error) {
-	c, err := rpc.DialAuto(addr)
+	c, err := rpc.DialAuto(addr, rpc.WithCallTimeout(DefaultCallTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
 	}
@@ -59,9 +70,10 @@ func Connect(addr string) (*Comms, error) {
 }
 
 // ConnectWithLatency dials addr injecting a per-call latency, used to
-// emulate wide-area deployments from one machine. Reconnects like Connect.
+// emulate wide-area deployments from one machine. Reconnects and
+// deadline-bounds calls like Connect.
 func ConnectWithLatency(addr string, latency time.Duration) (*Comms, error) {
-	c, err := rpc.DialAuto(addr, rpc.WithCallLatency(latency))
+	c, err := rpc.DialAuto(addr, rpc.WithCallLatency(latency), rpc.WithCallTimeout(DefaultCallTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("core: connect %s: %w", addr, err)
 	}

@@ -17,6 +17,12 @@ import (
 // stressed experiments synchronize with the scheduler every second.
 const DefaultSyncPeriod = time.Second
 
+// DefaultWaitTimeout bounds each SyncWait round's wait for in-flight
+// transfers. Generous enough for the slowest protocol emulation in the
+// experiment suite, but finite: a transfer wedged on a dead peer surfaces
+// as an error instead of hanging the caller forever.
+const DefaultWaitTimeout = 2 * time.Minute
+
 // NodeConfig configures a volatile host.
 type NodeConfig struct {
 	// Host is the node's identity towards the scheduler. Required.
@@ -60,6 +66,10 @@ type Node struct {
 	Transfers  *TransferManager
 
 	syncPeriod time.Duration
+	// waitTimeout bounds each SyncWait round's wait for in-flight
+	// transfers; zero means DefaultWaitTimeout. Tests shrink it to fail
+	// fast instead of hanging on a wedged transfer.
+	waitTimeout time.Duration
 
 	mu         sync.Mutex
 	cache      map[data.UID]cacheEntry
@@ -421,18 +431,29 @@ func (n *Node) startFetch(as scheduler.Assignment) {
 // SyncWait runs SyncOnce rounds until the node's cache is quiescent: no
 // transfers in flight and a final round neither fetched nor dropped
 // anything. It is the deterministic driver used by tests and examples.
+// Each round's wait for in-flight transfers is bounded (DefaultWaitTimeout,
+// shrinkable via the node's waitTimeout): a transfer wedged on a dead peer
+// turns into an error here instead of a hung caller.
 func (n *Node) SyncWait(rounds int) error {
+	timeout := n.waitTimeout
+	if timeout <= 0 {
+		timeout = DefaultWaitTimeout
+	}
 	for i := 0; i < rounds; i++ {
 		if err := n.SyncOnce(); err != nil {
 			return err
 		}
-		// Wait for in-flight downloads from this round.
+		// Wait for in-flight downloads from this round, up to the deadline.
+		deadline := time.Now().Add(timeout)
 		for {
 			n.mu.Lock()
-			busy := len(n.inflight) > 0
+			busy := len(n.inflight)
 			n.mu.Unlock()
-			if !busy {
+			if busy == 0 {
 				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: SyncWait round %d: %d transfer(s) still in flight after %v", i, busy, timeout)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}

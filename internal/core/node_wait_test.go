@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bitdew/internal/catalog"
+	"bitdew/internal/db"
+	"bitdew/internal/repository"
+	"bitdew/internal/rpc"
+	"bitdew/internal/scheduler"
+	"bitdew/internal/transfer"
+)
+
+// newWaitTestNode builds a node against a minimal in-process service plane
+// (white-box: the test needs the unexported waitTimeout and inflight).
+func newWaitTestNode(t *testing.T) *Node {
+	t.Helper()
+	mux := rpc.NewMux()
+	catalog.NewService(db.NewRowStore()).Mount(mux)
+	repository.NewService(repository.NewMemBackend()).Mount(mux)
+	transfer.NewService().Mount(mux)
+	scheduler.New().Mount(mux)
+	n, err := NewNode(NodeConfig{Host: "wait-test", Comms: ConnectLocal(mux)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+// TestSyncWaitBounded is the regression test for the rpcdeadline finding on
+// SyncWait: its in-flight poll loop used to spin forever, so one wedged
+// transfer hung every caller. It must now fail within the wait timeout,
+// naming the stuck work.
+func TestSyncWaitBounded(t *testing.T) {
+	n := newWaitTestNode(t)
+	n.waitTimeout = 30 * time.Millisecond
+
+	// A transfer that never finishes: the inflight entry is planted and
+	// nothing will ever clear it.
+	n.mu.Lock()
+	n.inflight["wedged-datum"] = true
+	n.mu.Unlock()
+
+	start := time.Now()
+	err := n.SyncWait(1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("SyncWait returned nil with a transfer permanently in flight")
+	}
+	if !strings.Contains(err.Error(), "in flight") {
+		t.Fatalf("SyncWait error = %v, want it to name the in-flight transfer", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("SyncWait took %v to give up, want ~30ms", elapsed)
+	}
+
+	// Once the transfer clears, the same node syncs fine.
+	n.mu.Lock()
+	delete(n.inflight, "wedged-datum")
+	n.mu.Unlock()
+	if err := n.SyncWait(1); err != nil {
+		t.Fatalf("SyncWait after the transfer cleared: %v", err)
+	}
+}

@@ -59,7 +59,7 @@ func ConnectSharded(addrs []string) (*ShardSet, error) {
 		c, err := Connect(addr)
 		if err != nil {
 			dialErrs = append(dialErrs, fmt.Errorf("core: connect shard %d of %d: %w", i, len(addrs), err))
-			c = commsFrom(rpc.DialAutoLazy(addr))
+			c = commsFrom(rpc.DialAutoLazy(addr, rpc.WithCallTimeout(DefaultCallTimeout)))
 		}
 		shards = append(shards, c)
 	}

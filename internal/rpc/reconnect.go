@@ -29,6 +29,9 @@ var errAutoClosed = errors.New("rpc: client closed")
 type autoClient struct {
 	addr string
 	opts []DialOption
+	// dial replaces Dial in tests (deterministic slow/failing dials); nil
+	// means Dial. Immutable after construction, like addr and opts.
+	dial func(addr string, opts ...DialOption) (Client, error)
 
 	mu     sync.Mutex
 	conn   Client
@@ -63,19 +66,40 @@ func DialAutoLazy(addr string, opts ...DialOption) Client {
 }
 
 // current returns the live connection, dialling a new one if the previous
-// was torn down.
+// was torn down. The dial itself happens outside a.mu — it is blocking
+// network work, and holding the mutex across it would wedge every concurrent
+// caller (and Close) behind one slow dial. Concurrent redials may race; the
+// loser's connection is closed and the winner's adopted.
 func (a *autoClient) current() (Client, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, errAutoClosed
+	}
+	if c := a.conn; c != nil {
+		a.mu.Unlock()
+		return c, nil
+	}
+	a.mu.Unlock()
+
+	dial := a.dial
+	if dial == nil {
+		dial = Dial
+	}
+	c, err := dial(a.addr, a.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: redial %s: %v", ErrTransport, a.addr, err)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
+		c.Close()
 		return nil, errAutoClosed
 	}
 	if a.conn != nil {
+		// A concurrent caller redialled first; keep its connection.
+		c.Close()
 		return a.conn, nil
-	}
-	c, err := Dial(a.addr, a.opts...)
-	if err != nil {
-		return nil, fmt.Errorf("%w: redial %s: %v", ErrTransport, a.addr, err)
 	}
 	a.conn = c
 	return c, nil

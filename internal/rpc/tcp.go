@@ -18,6 +18,13 @@ import (
 // errors are never retried.
 var ErrTransport = errors.New("rpc: transport failure")
 
+// ErrDeadline marks a call that outlived its per-call timeout (see
+// WithCallTimeout). It is deliberately not an ErrTransport: the request may
+// still be executing on the server, so reconnecting clients must not retry
+// it — a replay could double-apply a non-idempotent operation. Callers that
+// know an operation is idempotent can retry explicitly.
+var ErrDeadline = errors.New("rpc: call deadline exceeded")
+
 // request and response are the wire messages. Args and Reply are pre-encoded
 // gob payloads so the framing codec stays independent of call signatures.
 // A non-empty Batch makes the frame a multi-call: N logical calls sharing
@@ -269,6 +276,8 @@ type tcpClient struct {
 	conn    net.Conn
 	enc     *gob.Encoder
 	latency time.Duration
+	// timeout bounds each round trip (WithCallTimeout); zero waits forever.
+	timeout time.Duration
 	frames  frameCounter
 	// faults, when armed (WithFaultPlan), scripts per-frame faults for
 	// deterministic failure testing.
@@ -290,6 +299,16 @@ type DialOption func(*tcpClient)
 // client-side network delay.
 func WithCallLatency(d time.Duration) DialOption {
 	return func(c *tcpClient) { c.latency = d }
+}
+
+// WithCallTimeout bounds every round trip on the client at d: a call whose
+// response has not arrived within d of the request being sent fails with
+// ErrDeadline instead of blocking forever on a peer that stopped answering
+// without closing the connection. The timer is armed per call and only when
+// the option is set, so clients that omit it pay nothing. d <= 0 disables
+// the bound.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(c *tcpClient) { c.timeout = d }
 }
 
 // Dial connects to a Server at addr.
@@ -396,14 +415,37 @@ func (c *tcpClient) roundTrip(req request) (response, error) {
 			return response{}, fmt.Errorf("%w: sending request: %v", ErrTransport, err)
 		}
 	}
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return response{}, c.transportErr()
+			}
+			return resp, nil
+		case <-timer.C:
+			// Abandon the call: the response, if it ever arrives, is dropped
+			// into the channel's buffer and garbage-collected with it.
+			c.mu.Lock()
+			delete(c.pending, req.Seq)
+			c.mu.Unlock()
+			return response{}, fmt.Errorf("%w after %v", ErrDeadline, c.timeout)
+		}
+	}
 	resp, ok := <-ch
 	if !ok {
-		c.mu.Lock()
-		readErr := c.readErr
-		c.mu.Unlock()
-		return response{}, fmt.Errorf("%w: %v", ErrTransport, readErr)
+		return response{}, c.transportErr()
 	}
 	return resp, nil
+}
+
+// transportErr wraps the read loop's terminal error as an ErrTransport.
+func (c *tcpClient) transportErr() error {
+	c.mu.Lock()
+	readErr := c.readErr
+	c.mu.Unlock()
+	return fmt.Errorf("%w: %v", ErrTransport, readErr)
 }
 
 func (c *tcpClient) Call(service, method string, args, reply any) error {
