@@ -8,6 +8,8 @@
 //	go run ./cmd/bitdew-vet ./...          # whole module (CI runs this)
 //	go run ./cmd/bitdew-vet ./internal/rpc # one package
 //	go run ./cmd/bitdew-vet -list          # describe the analyzers
+//	go run ./cmd/bitdew-vet -json ./...    # machine-readable findings
+//	go run ./cmd/bitdew-vet -graph ./...   # static call graph (DOT)
 //
 // Exit status is 1 when any diagnostic is reported. False positives are
 // silenced in place with a documented suppression:
@@ -29,8 +31,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	nostock := flag.Bool("nostock", false, "skip the stock `go vet` passes")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (includes suppressed findings with reasons)")
+	graph := flag.Bool("graph", false, "dump the static call graph of the matched packages as Graphviz DOT")
 	flag.Parse()
-	if err := run(*list, *nostock, flag.Args()); err != nil {
+	if err := run(*list, *nostock, *jsonOut, *graph, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -38,7 +42,7 @@ func main() {
 
 var errFindings = fmt.Errorf("bitdew-vet: diagnostics reported")
 
-func run(list, nostock bool, patterns []string) error {
+func run(list, nostock, jsonOut, graph bool, patterns []string) error {
 	if list {
 		for _, a := range suite() {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -53,7 +57,7 @@ func run(list, nostock bool, patterns []string) error {
 	if err != nil {
 		return err
 	}
-	n, err := runVet(moduleDir, patterns, !nostock)
+	n, err := runVet(moduleDir, patterns, !nostock && !jsonOut && !graph, jsonOut, graph)
 	if err != nil {
 		return fmt.Errorf("bitdew-vet: %w", err)
 	}

@@ -1,5 +1,5 @@
 // Package badpkg violates one invariant per bitdew-vet analyzer; the
-// multichecker test asserts the exact five diagnostics.
+// multichecker test asserts the exact eight diagnostics.
 package badpkg
 
 import (
@@ -51,4 +51,46 @@ func NewService() *Service {
 		}
 	}()
 	return s
+}
+
+// splicereach: send forwards its caller-typed parameter into the payload
+// position, so forwardBad's concrete argument type is checked at the call
+// site — where it reaches an interface.
+func send[T any](c rpc.Client, v T) error {
+	return c.Call("svc", "m", v, nil)
+}
+
+func forwardBad(c rpc.Client) {
+	_ = send(c, Payload{})
+}
+
+// lockorder: abba and baab acquire the two locks in opposite orders.
+var regMu sync.Mutex
+
+func (s *Service) abba() {
+	s.mu.Lock()
+	regMu.Lock()
+	regMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Service) baab() {
+	regMu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	regMu.Unlock()
+}
+
+// deadlineprop: the blocking call hides one helper frame deep, so only
+// the propagated BlocksOnRPC fact exposes the unbounded retry loop.
+func fetch(c rpc.Client) error {
+	return c.Call("svc", "m", nil, nil)
+}
+
+func retryBad(c rpc.Client) {
+	for {
+		if fetch(c) == nil {
+			return
+		}
+	}
 }

@@ -1,0 +1,11 @@
+// Package okpkg carries exactly one deliberately suppressed finding, so
+// the multichecker tests can pin that -json surfaces suppressions with
+// their reasons instead of dropping them.
+package okpkg
+
+import "rpc"
+
+func shipBestEffort(c rpc.Client, calls []*rpc.Call) {
+	//vet:ignore errlost metrics fan-out is best-effort by design
+	c.CallBatch(calls)
+}

@@ -8,9 +8,15 @@ import (
 )
 
 // suite and runVet isolate main from the library so main.go reads as pure
-// CLI plumbing.
+// CLI plumbing. Stock go vet is skipped in json/graph modes: its text
+// output would corrupt the machine-readable stream.
 func suite() []*analysis.Analyzer { return vet.Suite() }
 
-func runVet(moduleDir string, patterns []string, stock bool) (int, error) {
-	return vet.Run(vet.Options{ModuleDir: moduleDir, Stock: stock}, patterns, os.Stdout)
+func runVet(moduleDir string, patterns []string, stock, jsonOut, graph bool) (int, error) {
+	return vet.Run(vet.Options{
+		ModuleDir: moduleDir,
+		Stock:     stock,
+		JSON:      jsonOut,
+		Graph:     graph,
+	}, patterns, os.Stdout)
 }

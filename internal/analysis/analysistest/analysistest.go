@@ -10,11 +10,23 @@
 //	// want "regexp" "another regexp"
 //
 // with one quoted regular expression per expected diagnostic on that line.
-// Every reported diagnostic must be matched by a want, and every want must
-// be matched by a diagnostic, or the test fails.
+// An analyzer that exports object facts (analysis.Fact) is checked the
+// same way: the line declaring the object carries
+//
+//	// want fact:"regexp"
+//
+// matched against the fact's String() rendering. Every reported
+// diagnostic and exported object fact must be matched by a want, and
+// every want by a diagnostic/fact, or the test fails.
+//
+// Packages run through the analysis/load driver, so an analyzer's
+// Requires closure executes and facts flow between fixture packages in
+// dependency order — list a fixture's packages importer-last to exercise
+// cross-package fact propagation.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"path/filepath"
@@ -28,65 +40,110 @@ import (
 	"bitdew/internal/analysis/load"
 )
 
+// A Reporter receives the runner's verdicts. *testing.T satisfies it; the
+// runner's own tests substitute a recorder to check that mismatches are
+// caught.
+type Reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // wantRe extracts the trailing want comment of a line.
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-// expectation is one // want entry.
+// expectation is one // want entry: a diagnostic pattern, or a fact
+// pattern when fact is true.
 type expectation struct {
 	file    string
 	line    int
 	re      *regexp.Regexp
+	fact    bool
 	matched bool
 }
 
 // moduleRoot locates the repository root relative to this source file.
-func moduleRoot(t *testing.T) string {
-	t.Helper()
+func moduleRoot(r Reporter) string {
+	r.Helper()
 	_, file, _, ok := runtime.Caller(0)
 	if !ok {
-		t.Fatal("analysistest: no caller info")
+		r.Fatalf("analysistest: no caller info")
 	}
 	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
 }
 
-// Run loads each fixture package from testdata (a directory containing
-// src/), applies the analyzer, and diffs diagnostics against the // want
-// comments of the fixture sources.
+// Run loads the fixture packages from testdata (a directory containing
+// src/) through the whole-program driver, applies the analyzer and its
+// Requires closure, and diffs diagnostics and exported object facts
+// against the // want comments of the fixture sources.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	root := moduleRoot(t)
+	RunWith(t, testdata, a, pkgPaths...)
+}
+
+// RunWith is Run with an explicit Reporter, for testing the runner itself.
+func RunWith(r Reporter, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	r.Helper()
+	root := moduleRoot(r)
 	l, err := load.New(root, testdata)
 	if err != nil {
-		t.Fatalf("analysistest: %v", err)
+		r.Fatalf("analysistest: %v", err)
+		return
 	}
-	for _, path := range pkgPaths {
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Errorf("analysistest: loading %s: %v", path, err)
+	run, err := l.Analyze([]*analysis.Analyzer{a}, pkgPaths)
+	if err != nil {
+		r.Errorf("analysistest: running %s: %v", a.Name, err)
+		return
+	}
+
+	var wants []*expectation
+	inTargets := make(map[string]bool, len(run.Targets))
+	for _, pkg := range run.Targets {
+		inTargets[pkg.Path] = true
+		wants = append(wants, collectWants(r, l.Fset, pkg.Files)...)
+	}
+
+	for _, d := range run.Diagnostics {
+		if d.Suppressed {
+			continue // a fixture's //vet:ignore is part of its golden intent
+		}
+		if !matchWant(wants, false, d.Pos, d.Message) {
+			r.Errorf("%s: unexpected diagnostic: %s", d.Pos.Filename, d)
+		}
+	}
+	for _, of := range run.Facts.AllObjectFacts() {
+		if of.Analyzer != a.Name || of.Object.Pkg() == nil || !inTargets[of.Object.Pkg().Path()] {
 			continue
 		}
-		diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, l.Fset, pkg.Files, pkg.Types, pkg.Info)
-		if err != nil {
-			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
-			continue
+		pos := l.Fset.Position(of.Object.Pos())
+		rendered := factString(of.Fact)
+		if !matchWant(wants, true, pos, rendered) {
+			r.Errorf("%s: unexpected fact on %s: %s", pos, of.Object.Name(), rendered)
 		}
-		wants := collectWants(t, l.Fset, pkg.Files)
-		for _, d := range diags {
-			if !matchWant(wants, d) {
-				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			kind := "diagnostic"
+			if w.fact {
+				kind = "fact"
 			}
-		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s: no diagnostic at %s:%d matching %q", path, w.file, w.line, w.re)
-			}
+			r.Errorf("%s:%d: no %s matching %q", w.file, w.line, kind, w.re)
 		}
 	}
 }
 
+// factString renders a fact the way wants match it: its String() method
+// when it has one, the %v rendering otherwise.
+func factString(f analysis.Fact) string {
+	if s, ok := f.(interface{ String() string }); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%v", f)
+}
+
 // collectWants parses the // want comments of the fixture files.
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
-	t.Helper()
+func collectWants(r Reporter, fset *token.FileSet, files []*ast.File) []*expectation {
+	r.Helper()
 	var out []*expectation
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -97,15 +154,19 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expec
 				}
 				pos := fset.Position(c.Pos())
 				for _, q := range splitQuoted(m[1]) {
+					isFact := strings.HasPrefix(q, "fact:")
+					q = strings.TrimPrefix(q, "fact:")
 					pattern, err := strconv.Unquote(q)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						r.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						return out
 					}
 					re, err := regexp.Compile(pattern)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+						r.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+						return out
 					}
-					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, fact: isFact})
 				}
 			}
 		}
@@ -113,12 +174,17 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expec
 	return out
 }
 
-// splitQuoted splits `"a" "b"` into its quoted fields, keeping the quotes.
+// splitQuoted splits `"a" fact:"b"` into its fields, keeping quotes and
+// any fact: prefix.
 func splitQuoted(s string) []string {
 	var out []string
 	s = strings.TrimSpace(s)
 	for s != "" {
-		if s[0] != '"' {
+		prefix := ""
+		if strings.HasPrefix(s, "fact:") {
+			prefix, s = "fact:", s[len("fact:"):]
+		}
+		if s == "" || s[0] != '"' {
 			break
 		}
 		end := 1
@@ -135,19 +201,20 @@ func splitQuoted(s string) []string {
 		if end >= len(s) {
 			break
 		}
-		out = append(out, s[:end+1])
+		out = append(out, prefix+s[:end+1])
 		s = strings.TrimSpace(s[end+1:])
 	}
 	return out
 }
 
-// matchWant marks and reports the first unmatched want covering d.
-func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+// matchWant marks and reports the first unmatched want of the right kind
+// covering the position.
+func matchWant(wants []*expectation, fact bool, pos token.Position, text string) bool {
 	for _, w := range wants {
-		if w.matched || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+		if w.matched || w.fact != fact || w.line != pos.Line || w.file != pos.Filename {
 			continue
 		}
-		if w.re.MatchString(d.Message) {
+		if w.re.MatchString(text) {
 			w.matched = true
 			return true
 		}

@@ -1,0 +1,91 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/analysistest"
+)
+
+// recorder captures the runner's verdicts instead of failing the test.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+
+// markFact is the test analyzer's object fact.
+type markFact struct{ Name string }
+
+func (*markFact) AFact() {}
+
+func (f *markFact) String() string { return "Mark(" + f.Name + ")" }
+
+// flagFuncs flags and marks every declared function: enough surface to
+// exercise both diagnostic and fact matching.
+var flagFuncs = &analysis.Analyzer{
+	Name:      "flagfuncs",
+	Doc:       "test analyzer: reports and marks every function declaration",
+	FactTypes: []analysis.Fact{(*markFact)(nil)},
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				pass.Reportf(fd.Name.Pos(), "flagged %s", fd.Name.Name)
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportObjectFact(fn, &markFact{Name: fd.Name.Name})
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestRunnerAcceptsMatchingFixture(t *testing.T) {
+	r := &recorder{}
+	analysistest.RunWith(r, analysistest.Fixture(t), flagFuncs, "selftest")
+	if len(r.errors) != 0 || len(r.fatals) != 0 {
+		t.Errorf("runner reported errors on a fully matched fixture:\n%s",
+			strings.Join(append(r.errors, r.fatals...), "\n"))
+	}
+}
+
+func TestRunnerReportsEveryMismatch(t *testing.T) {
+	r := &recorder{}
+	analysistest.RunWith(r, analysistest.Fixture(t), flagFuncs, "selfbad")
+	if len(r.fatals) != 0 {
+		t.Fatalf("unexpected fatals: %v", r.fatals)
+	}
+	// F: diagnostic doesn't match its want, fact doesn't match its fact
+	// want → 2 unexpected + 2 unmatched. G: unannotated diagnostic and
+	// fact → 2 unexpected.
+	if len(r.errors) != 6 {
+		t.Errorf("got %d errors, want 6:\n%s", len(r.errors), strings.Join(r.errors, "\n"))
+	}
+	for _, w := range []string{
+		"unexpected diagnostic",
+		"flagged G",
+		"unexpected fact",
+		"Mark(G)",
+		`no diagnostic matching "wrong message"`,
+		`no fact matching "Mark\\(Wrong\\)"`,
+	} {
+		if !strings.Contains(strings.Join(r.errors, "\n"), w) {
+			t.Errorf("errors missing %q:\n%s", w, strings.Join(r.errors, "\n"))
+		}
+	}
+}

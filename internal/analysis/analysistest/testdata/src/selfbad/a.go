@@ -1,0 +1,8 @@
+// Fixture for the analysistest runner's own tests: every kind of
+// mismatch — wrong diagnostic want, wrong fact want, unannotated
+// diagnostic and unannotated fact — must be reported.
+package selfbad
+
+func F() {} // want "wrong message" fact:"Mark\\(Wrong\\)"
+
+func G() {}

@@ -1,0 +1,7 @@
+// Fixture for the analysistest runner's own tests: every diagnostic and
+// fact the flagfuncs test analyzer produces is matched.
+package selftest
+
+func F() {} // want "flagged F" fact:"Mark\\(F\\)"
+
+func G() {} // want "flagged G" fact:"Mark\\(G\\)"

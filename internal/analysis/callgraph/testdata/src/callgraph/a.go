@@ -1,0 +1,48 @@
+// Fixture for the callgraph analyzer: one example of every edge kind and
+// resolution rule.
+package callgraph
+
+func leaf() {}
+
+func direct() { leaf() }
+
+func spawns() { go leaf() }
+
+func defers() { defer leaf() }
+
+type T struct{}
+
+func (T) M() {}
+
+func methodCall(t T) { t.M() }
+
+func methodValue(t T) func() { return t.M }
+
+func goLiteral() {
+	go func() {
+		leaf()
+	}()
+}
+
+func deferLiteral() {
+	defer func() {
+		leaf()
+	}()
+}
+
+func inPlaceLiteral() {
+	func() {
+		leaf()
+	}()
+}
+
+func storedLiteral() func() {
+	f := func() {
+		leaf()
+	}
+	return f
+}
+
+func generic[U any](u U) {}
+
+func callsGeneric() { generic(1) }

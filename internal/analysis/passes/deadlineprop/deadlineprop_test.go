@@ -1,0 +1,15 @@
+package deadlineprop_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/deadlineprop"
+)
+
+// The helper package is listed first so its BlocksOnRPC facts serialize
+// before the importing fixture is analyzed, exercising cross-package
+// propagation.
+func TestDeadlineprop(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), deadlineprop.Analyzer, "deadlinehelp", "deadlineprop")
+}

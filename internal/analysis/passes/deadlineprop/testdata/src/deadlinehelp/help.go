@@ -1,0 +1,14 @@
+// Package deadlinehelp is a fixture dependency of the deadlineprop
+// fixture: its helpers' BlocksOnRPC facts must serialize here and flow
+// into the importing package.
+package deadlinehelp
+
+import "rpc"
+
+// FetchOne blocks on one rpc round trip.
+func FetchOne(c rpc.Client) error { // want fact:"BlocksOnRPC\\(rpc Call\\)"
+	return c.Call("store", "get", nil, nil)
+}
+
+// Describe does no rpc work at all: no fact.
+func Describe() string { return "helper package" }

@@ -50,7 +50,7 @@ var batchEndpoints = map[string]bool{
 	"OpenAll": true, "CreateDataBatch": true,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			fd, ok := n.(*ast.FuncDecl)
@@ -61,7 +61,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {

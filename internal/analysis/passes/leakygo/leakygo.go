@@ -36,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 // by construction.
 var constructorPrefixes = []string{"New", "Open", "Dial", "Listen", "Start"}
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	decls := methodDecls(pass)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -58,7 +58,7 @@ func run(pass *analysis.Pass) error {
 			})
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func isConstructor(name string) bool {

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/lockorder"
+)
+
+// locka contributes one direction of the cross-package cycle via its
+// LockEdges package fact; the lockorder fixture closes it and carries the
+// report.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), lockorder.Analyzer, "locka", "lockorder")
+}

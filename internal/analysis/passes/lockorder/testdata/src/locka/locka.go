@@ -1,0 +1,27 @@
+// Package locka is a fixture dependency of the lockorder fixture: its
+// lock-order edges (LockEdges package fact) and per-function Acquires
+// facts must serialize here and flow into the importing package, where a
+// reversed acquisition closes the cross-package cycle.
+package locka
+
+import "sync"
+
+// RegMu guards the fixture's fake registry.
+var RegMu sync.Mutex
+
+// Store carries its own per-instance lock; all instances share the lock
+// class locka.Store.Mu.
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Update acquires RegMu while holding the store lock: the edge
+// locka.Store.Mu → locka.RegMu. No cycle exists yet in this package.
+func (s *Store) Update() { // want fact:"Acquires\\(locka.RegMu,locka.Store.Mu\\)"
+	s.Mu.Lock()
+	RegMu.Lock()
+	s.n++
+	RegMu.Unlock()
+	s.Mu.Unlock()
+}

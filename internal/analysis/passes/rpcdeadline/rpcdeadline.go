@@ -1,29 +1,22 @@
-// Package rpcdeadline enforces the timeout discipline of the service
-// plane: RPC work must always be bounded in time.
+// Package rpcdeadline enforces the dial-site half of the service plane's
+// timeout discipline: every rpc connection must arm a per-call deadline.
 //
-// Two rules, both drawn from the plane's failure model (a service host may
-// stop answering at any moment — the paper's transient-fault model — and a
-// frame may be lost without the connection dying):
+// Outside the rpc package itself, rpc.Dial / rpc.DialAuto /
+// rpc.DialAutoLazy call sites must pass rpc.WithCallTimeout(...): without
+// it a request whose response frame never arrives blocks its caller
+// forever (the transport only fails pending calls when the connection
+// breaks — a hung peer breaks nothing; the paper's transient-fault model
+// makes hung peers a normal operating condition, not an anomaly).
 //
-//  1. Retry loops must be bounded. A `for { ... }` (or `for true`) loop
-//     that performs rpc calls, dials or sleeps must reference a deadline
-//     facility: a bounded attempt count belongs in the loop condition, a
-//     time budget in a time.Now/After/Since check, a context in a
-//     ctx.Done() select, or a stop channel in a select receive. A bare
-//     retries-forever loop turns one lost frame into a wedged goroutine.
-//
-//  2. Service-plane dial sites must arm a call deadline. Outside the rpc
-//     package itself, rpc.Dial / rpc.DialAuto / rpc.DialAutoLazy call
-//     sites must pass rpc.WithCallTimeout(...): without it a request whose
-//     response frame never arrives blocks its caller forever (the
-//     transport only fails pending calls when the connection breaks — a
-//     hung peer breaks nothing).
+// The companion rule — RPC-blocking work inside unbounded retry loops —
+// lives in the deadlineprop analyzer, which generalized this package's
+// original direct-call-site-only loop check into an interprocedural one:
+// deadlineprop propagates a BlocksOnRPC fact up the call graph so a
+// helper that wraps the blocking call no longer hides it.
 package rpcdeadline
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
 
 	"bitdew/internal/analysis"
 	"bitdew/internal/analysis/astq"
@@ -31,104 +24,25 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "rpcdeadline",
-	Doc: "service-plane RPC must be time-bounded: no retries-forever loops, no dial sites without a call timeout\n\n" +
-		"Unbounded loops around Call/Dial/Sleep and rpc dial sites missing rpc.WithCallTimeout are flagged.",
+	Doc: "rpc dial sites must arm a per-call deadline (rpc.WithCallTimeout)\n\n" +
+		"A peer that stops answering without closing the connection blocks callers forever; " +
+		"unbounded retry loops are the deadlineprop analyzer's half of the discipline.",
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
-	inRPCPkg := astq.PkgIs(pass.Pkg, "rpc")
+func run(pass *analysis.Pass) (any, error) {
+	if astq.PkgIs(pass.Pkg, "rpc") {
+		return nil, nil // the transport arms its own timers
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch nn := n.(type) {
-			case *ast.ForStmt:
-				if isUnconditional(nn) {
-					checkLoop(pass, nn)
-				}
-			case *ast.CallExpr:
-				if !inRPCPkg {
-					checkDialSite(pass, nn)
-				}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkDialSite(pass, call)
 			}
 			return true
 		})
 	}
-	return nil
-}
-
-// isUnconditional reports loops of the form `for { ... }` or `for true`.
-func isUnconditional(f *ast.ForStmt) bool {
-	if f.Cond == nil {
-		return true
-	}
-	id, ok := ast.Unparen(f.Cond).(*ast.Ident)
-	return ok && id.Name == "true"
-}
-
-// checkLoop flags an unconditional loop doing blocking RPC-ish work with
-// no deadline facility in sight.
-func checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
-	var blocking *ast.CallExpr
-	var blockingWhat string
-	bounded := false
-	ast.Inspect(loop.Body, func(n ast.Node) bool {
-		switch nn := n.(type) {
-		case *ast.FuncLit:
-			return false // runs on its own goroutine/schedule
-		case *ast.SelectStmt:
-			// A select with a real receive case is a stop/timeout point.
-			for _, c := range nn.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
-					bounded = true
-				}
-			}
-		case *ast.UnaryExpr:
-			// A bare channel receive blocks until signalled — the loop is
-			// paced by a channel, not spinning on the network.
-			if nn.Op == token.ARROW {
-				bounded = true
-			}
-		case *ast.CallExpr:
-			fn := astq.Callee(pass.TypesInfo, nn)
-			switch {
-			case isDeadlineFunc(fn):
-				bounded = true
-			case blocking == nil && astq.IsMethodNamed(fn, "", "Call", "CallBatch"):
-				blocking, blockingWhat = nn, "rpc "+fn.Name()
-			case blocking == nil && (astq.IsPkgFunc(fn, "rpc", "Dial") || astq.IsPkgFunc(fn, "rpc", "DialAuto") ||
-				astq.IsPkgFunc(fn, "rpc", "DialAutoLazy") || astq.IsPkgFunc(fn, "rpc", "CallBatch")):
-				blocking, blockingWhat = nn, "rpc."+fn.Name()
-			case blocking == nil && astq.IsPkgFunc(fn, "time", "Sleep"):
-				blocking, blockingWhat = nn, "time.Sleep polling"
-			}
-		}
-		return true
-	})
-	if blocking != nil && !bounded {
-		pass.Reportf(blocking.Pos(),
-			"%s inside an unbounded for-loop with no deadline: bound the retries (attempt budget, time.Now deadline, context or stop-channel select) so a dead peer cannot wedge this goroutine forever",
-			blockingWhat)
-	}
-}
-
-// isDeadlineFunc recognizes the time/context calls that make an infinite
-// loop time-bounded or cancellable.
-func isDeadlineFunc(fn *types.Func) bool {
-	if fn == nil || fn.Pkg() == nil {
-		return false
-	}
-	switch fn.Pkg().Path() {
-	case "time":
-		switch fn.Name() {
-		case "Now", "After", "Since", "Until", "NewTimer":
-			return true
-		}
-	case "context":
-		// Covers ctx.Done()/Deadline()/Err() too: methods of the
-		// context.Context interface resolve to package context.
-		return true
-	}
-	return false
+	return nil, nil
 }
 
 // checkDialSite flags rpc dial calls missing a WithCallTimeout option.

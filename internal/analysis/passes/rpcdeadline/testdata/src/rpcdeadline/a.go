@@ -1,89 +1,12 @@
-// Fixture for the rpcdeadline analyzer: no retries-forever loops, no dial
-// sites without a call timeout.
+// Fixture for the rpcdeadline analyzer: no dial sites without a call
+// timeout. (Retry-loop discipline is the deadlineprop fixture's half.)
 package rpcdeadline
 
 import (
-	"context"
 	"time"
 
 	"rpc"
 )
-
-func retriesForever(c rpc.Client) {
-	for {
-		if err := c.Call("a", "b", nil, nil); err == nil { // want "rpc Call inside an unbounded for-loop with no deadline"
-			return
-		}
-	}
-}
-
-func pollsForever(ready func() bool) {
-	for {
-		if ready() {
-			return
-		}
-		time.Sleep(time.Millisecond) // want "time.Sleep polling inside an unbounded for-loop with no deadline"
-	}
-}
-
-func redialForever() {
-	for {
-		if _, err := rpc.DialAuto("addr", rpc.WithCallTimeout(time.Second)); err == nil { // want "rpc.DialAuto inside an unbounded for-loop with no deadline"
-			return
-		}
-	}
-}
-
-func boundedAttempts(c rpc.Client) {
-	for i := 0; i < 5; i++ {
-		if err := c.Call("a", "b", nil, nil); err == nil {
-			return
-		}
-	}
-}
-
-func timeBudget(c rpc.Client) {
-	deadline := time.Now().Add(time.Second)
-	for {
-		if err := c.Call("a", "b", nil, nil); err == nil {
-			return
-		}
-		if time.Now().After(deadline) {
-			return
-		}
-	}
-}
-
-func stopChannel(c rpc.Client, stop chan struct{}) {
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		if err := c.Call("a", "b", nil, nil); err == nil {
-			return
-		}
-	}
-}
-
-func contextBound(ctx context.Context, c rpc.Client) {
-	for {
-		if ctx.Err() != nil {
-			return
-		}
-		if err := c.Call("a", "b", nil, nil); err == nil {
-			return
-		}
-	}
-}
-
-func pacedByChannel(c rpc.Client, tick chan struct{}) {
-	for {
-		<-tick
-		_ = c.Call("a", "b", nil, nil)
-	}
-}
 
 func dialSites() {
 	_, _ = rpc.Dial("addr")                                            // want "rpc.Dial without rpc.WithCallTimeout"

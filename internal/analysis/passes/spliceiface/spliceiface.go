@@ -29,7 +29,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -50,7 +50,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // checkRegister validates both type arguments of an rpc.Register[A, R]

@@ -1,0 +1,15 @@
+package splicereach_test
+
+import (
+	"testing"
+
+	"bitdew/internal/analysis/analysistest"
+	"bitdew/internal/analysis/passes/splicereach"
+)
+
+// payload declares and registers the generic payload type (SpliceSafe
+// fact) and the forwarding helpers (CarriesPayload facts); the
+// splicereach fixture consumes both across the package boundary.
+func TestSplicereach(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t), splicereach.Analyzer, "payload", "splicereach")
+}

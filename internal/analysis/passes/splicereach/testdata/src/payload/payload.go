@@ -1,0 +1,40 @@
+// Package payload is a fixture dependency of the splicereach fixture: it
+// declares and registers a generic payload type (SpliceSafe fact on the
+// origin) and exports payload-forwarding helpers (CarriesPayload facts),
+// all of which must flow into the importing package.
+package payload
+
+import "rpc"
+
+// Envelope is the registered generic payload wrapper; every instantiation
+// constructed anywhere must stay splice-safe.
+type Envelope[T any] struct { // want fact:"SpliceSafe\\(.*payload.go:\\d+\\)"
+	Seq  uint64
+	Body T
+}
+
+// Meta is the registered reply type.
+type Meta struct { // want fact:"SpliceSafe\\(.*payload.go:\\d+\\)"
+	Name string
+}
+
+func Install(m *rpc.Mux) {
+	rpc.Register(m, "store", "put", func(e Envelope[Meta]) (Meta, error) { return e.Body, nil })
+}
+
+// Send forwards v into the args payload position: the caller decides the
+// concrete payload type, so every call site is a payload site.
+func Send[T any](c rpc.Client, v T) error { // want fact:"CarriesPayload\\(\\[1\\]\\)"
+	return c.Call("store", "put", v, nil)
+}
+
+// SendVia forwards through Send: the fact propagates up the chain.
+func SendVia[T any](c rpc.Client, v T) error { // want fact:"CarriesPayload\\(\\[1\\]\\)"
+	return Send(c, v)
+}
+
+// SendMeta's payload type is fixed here: its own Call site is the
+// checkable one (spliceiface's job), so no fact and no call-site checks.
+func SendMeta(c rpc.Client, m Meta) error {
+	return c.Call("store", "put", m, nil)
+}

@@ -1,0 +1,24 @@
+// Package rpc is an analysistest stub of bitdew/internal/rpc: just enough
+// surface (by name and shape) for the fixtures to exercise the analyzers'
+// package-suffix matching.
+package rpc
+
+type Mux struct{}
+
+type Client interface {
+	Call(service, method string, args, reply any) error
+	CallBatch(calls []*Call) error
+	Close() error
+}
+
+type Call struct {
+	Service, Method string
+	Args, Reply     any
+	Err             error
+}
+
+func NewCall(service, method string, args, reply any) *Call {
+	return &Call{Service: service, Method: method, Args: args, Reply: reply}
+}
+
+func Register[A, R any](m *Mux, service, method string, fn func(A) (R, error)) {}

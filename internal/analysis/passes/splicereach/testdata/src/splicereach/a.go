@@ -1,0 +1,45 @@
+// Fixture for the splicereach analyzer: payload types stay splice-safe
+// through helper forwarding and cross-package generic instantiation.
+package splicereach
+
+import (
+	"payload"
+	"rpc"
+)
+
+// Good is fully concrete: splice-safe anywhere.
+type Good struct {
+	Name string
+}
+
+// Evil reaches an interface: demoted to the slow path if spliced.
+type Evil struct {
+	Name string
+	Blob any
+}
+
+func sends(c rpc.Client) {
+	_ = payload.Send(c, Good{Name: "x"})
+	_ = payload.Send(c, Evil{})    // want "rpc payload through payload.Send \\(parameter 1\\): type splicereach.Evil reaches interface-typed component at Blob"
+	_ = payload.SendVia(c, Evil{}) // want "rpc payload through payload.SendVia \\(parameter 1\\): type splicereach.Evil reaches interface-typed component at Blob"
+
+	// An any-typed argument carries no concrete type to judge here.
+	var opaque any = Good{}
+	_ = payload.Send(c, opaque)
+}
+
+// forward is a local carrier: its own callers are checked instead.
+func forward[T any](c rpc.Client, v T) error { // want fact:"CarriesPayload\\(\\[1\\]\\)"
+	return payload.Send(c, v)
+}
+
+func sendsViaLocal(c rpc.Client) {
+	_ = forward(c, Evil{}) // want "rpc payload through splicereach.forward \\(parameter 1\\): type splicereach.Evil reaches interface-typed component at Blob"
+	_ = forward(c, Good{})
+}
+
+func constructs() payload.Envelope[Evil] {
+	good := payload.Envelope[Good]{Seq: 1, Body: Good{}}
+	_ = good
+	return payload.Envelope[Evil]{Seq: 2, Body: Evil{}} // want "construction of rpc payload type payload.Envelope\\[splicereach.Evil\\] reaches interface-typed component at Body.Blob \\(payload type registered splice-safe at .*payload.go:\\d+\\)"
+}

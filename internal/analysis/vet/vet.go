@@ -2,28 +2,43 @@
 // packages: the library behind cmd/bitdew-vet, factored out so the
 // multichecker's end-to-end behaviour is testable without executing a
 // built binary.
+//
+// The suite runs through the analysis/load driver: packages are analyzed
+// in dependency order with one shared fact store, so the interprocedural
+// passes (lockorder, deadlineprop, splicereach) see the facts their
+// dependencies exported. Reporting stays limited to the pattern-matched
+// packages.
 package vet
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os/exec"
 
 	"bitdew/internal/analysis"
+	"bitdew/internal/analysis/callgraph"
 	"bitdew/internal/analysis/load"
+	"bitdew/internal/analysis/passes/deadlineprop"
 	"bitdew/internal/analysis/passes/errlost"
 	"bitdew/internal/analysis/passes/leakygo"
 	"bitdew/internal/analysis/passes/lockheld"
+	"bitdew/internal/analysis/passes/lockorder"
 	"bitdew/internal/analysis/passes/rpcdeadline"
 	"bitdew/internal/analysis/passes/spliceiface"
+	"bitdew/internal/analysis/passes/splicereach"
 )
 
-// Suite returns the project analyzers in reporting order.
+// Suite returns the project analyzers in reporting order: each local
+// invariant checker followed by its interprocedural extension.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		spliceiface.Analyzer,
+		splicereach.Analyzer,
 		lockheld.Analyzer,
+		lockorder.Analyzer,
 		rpcdeadline.Analyzer,
+		deadlineprop.Analyzer,
 		errlost.Analyzer,
 		leakygo.Analyzer,
 	}
@@ -40,16 +55,39 @@ type Options struct {
 	Stock bool
 	// Analyzers overrides Suite() when non-nil.
 	Analyzers []*analysis.Analyzer
+	// JSON emits a machine-readable diagnostic array (including
+	// suppressed findings with their reasons) instead of go-vet lines.
+	JSON bool
+	// Graph skips diagnostic output and dumps the static call graph of
+	// the matched packages in Graphviz DOT syntax.
+	Graph bool
 }
 
-// Run loads every package matched by patterns, applies the suite, and
-// writes diagnostics to w in go-vet style. It returns the number of
-// diagnostics; err is reserved for operational failures (unparseable
-// source, unknown package), not findings.
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppressed  bool   `json:"suppressed,omitempty"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// Run loads every package matched by patterns plus their dependency
+// closure, applies the suite in dependency order, and writes diagnostics
+// to w in go-vet style (or JSON / DOT per Options). It returns the number
+// of unsuppressed diagnostics; err is reserved for operational failures
+// (unparseable source, unknown package), not findings.
 func Run(opts Options, patterns []string, w io.Writer) (int, error) {
 	analyzers := opts.Analyzers
 	if analyzers == nil {
 		analyzers = Suite()
+	}
+	if opts.Graph {
+		// The graph may be requested with an analyzer override that does
+		// not pull callgraph in through Requires.
+		analyzers = append([]*analysis.Analyzer{callgraph.Analyzer}, analyzers...)
 	}
 	count := 0
 	if opts.Stock {
@@ -63,23 +101,49 @@ func Run(opts Options, patterns []string, w io.Writer) (int, error) {
 	if err != nil {
 		return count, err
 	}
-	paths, err := l.Expand(patterns)
+	run, err := l.Analyze(analyzers, patterns)
 	if err != nil {
 		return count, err
 	}
-	for _, path := range paths {
-		pkg, err := l.Load(path)
-		if err != nil {
+	if opts.Graph {
+		fmt.Fprintln(w, "digraph bitdew {")
+		for _, p := range run.Targets {
+			if g, ok := run.ResultOf(p.Path, callgraph.Analyzer).(*callgraph.Graph); ok {
+				fmt.Fprint(w, g.DOT())
+			}
+		}
+		fmt.Fprintln(w, "}")
+		return count, nil
+	}
+	if opts.JSON {
+		out := make([]jsonDiag, 0, len(run.Diagnostics))
+		for _, d := range run.Diagnostics {
+			out = append(out, jsonDiag{
+				File:        d.Pos.Filename,
+				Line:        d.Pos.Line,
+				Col:         d.Pos.Column,
+				Analyzer:    d.Analyzer,
+				Message:     d.Message,
+				Suppressed:  d.Suppressed,
+				Suppression: d.Suppression,
+			})
+			if !d.Suppressed {
+				count++
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			return count, err
 		}
-		diags, err := analysis.RunAnalyzers(analyzers, l.Fset, pkg.Files, pkg.Types, pkg.Info)
-		if err != nil {
-			return count, err
+		return count, nil
+	}
+	for _, d := range run.Diagnostics {
+		if d.Suppressed {
+			continue
 		}
-		for _, d := range diags {
-			fmt.Fprintln(w, d)
-			count++
-		}
+		fmt.Fprintln(w, d)
+		count++
 	}
 	return count, nil
 }

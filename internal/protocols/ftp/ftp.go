@@ -29,6 +29,14 @@ import (
 // DefaultChunk is the transfer chunk size.
 const DefaultChunk = 64 * 1024
 
+// DefaultIdleTimeout bounds how long a connection may sit without making
+// progress (no command read, no payload byte transferred) before the
+// server severs it. A peer that dies without closing its socket would
+// otherwise pin a goroutine and a connection slot until Close — the
+// paper's transient-fault model makes such peers a normal operating
+// condition, not an anomaly.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server serves a repository backend over the FTP-like protocol.
 type Server struct {
 	backend repository.Backend
@@ -41,6 +49,8 @@ type Server struct {
 	// Throttle, when positive, caps per-connection throughput in bytes/s;
 	// benchmarks use it to emulate constrained server uplinks.
 	throttle int64
+	// idleTimeout is the per-connection progress deadline; zero disables.
+	idleTimeout time.Duration
 }
 
 // Option configures a Server.
@@ -51,6 +61,12 @@ func WithThrottle(bps int64) Option {
 	return func(s *Server) { s.throttle = bps }
 }
 
+// WithIdleTimeout overrides DefaultIdleTimeout; d <= 0 disables the
+// progress deadline entirely (tests that deliberately stall use this).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
 // NewServer starts serving backend on addr ("127.0.0.1:0" picks a port).
 func NewServer(backend repository.Backend, addr string, opts ...Option) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
@@ -58,10 +74,11 @@ func NewServer(backend repository.Backend, addr string, opts ...Option) (*Server
 		return nil, fmt.Errorf("ftp: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		backend: backend,
-		lis:     lis,
-		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		backend:     backend,
+		lis:         lis,
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
+		idleTimeout: DefaultIdleTimeout,
 	}
 	for _, o := range opts {
 		o(s)
@@ -123,6 +140,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.idleTimeout))
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -153,7 +173,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad offset\n")
 				break
 			}
-			if err := s.retr(w, fields[1], off); err != nil {
+			if err := s.retr(conn, w, fields[1], off); err != nil {
 				return // stream broken mid-payload; abandon connection
 			}
 		case "STOR":
@@ -167,7 +187,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad offset or length\n")
 				break
 			}
-			if err := s.stor(r, w, fields[1], off, n); err != nil {
+			if err := s.stor(conn, r, w, fields[1], off, n); err != nil {
 				return
 			}
 		case "QUIT":
@@ -182,8 +202,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// arm pushes conn's deadline out by the idle timeout. Transfer loops call
+// it once per chunk, so the deadline measures stall, not total duration:
+// a slow-but-moving peer (throttled benchmarks included) keeps re-arming,
+// while a dead one trips it within one idleTimeout.
+func (s *Server) arm(conn net.Conn) {
+	if s.idleTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.idleTimeout))
+	}
+}
+
 // retr streams ref from offset to the client.
-func (s *Server) retr(w *bufio.Writer, ref string, off int64) error {
+func (s *Server) retr(conn net.Conn, w *bufio.Writer, ref string, off int64) error {
 	size, err := s.backend.Size(ref)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
@@ -215,6 +245,7 @@ func (s *Server) retr(w *bufio.Writer, ref string, off int64) error {
 		}
 		off += int64(len(chunk))
 		remaining -= int64(len(chunk))
+		s.arm(conn)
 		limiter.wait(int64(len(chunk)))
 	}
 	return w.Flush()
@@ -222,7 +253,7 @@ func (s *Server) retr(w *bufio.Writer, ref string, off int64) error {
 
 // stor receives n bytes into ref at offset. A non-zero offset must equal the
 // current stored size (append-resume); offset zero restarts the file.
-func (s *Server) stor(r *bufio.Reader, w *bufio.Writer, ref string, off, n int64) error {
+func (s *Server) stor(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ref string, off, n int64) error {
 	cur, err := s.backend.Size(ref)
 	if err != nil {
 		cur = 0
@@ -255,6 +286,7 @@ func (s *Server) stor(r *bufio.Reader, w *bufio.Writer, ref string, off, n int64
 				return aerr
 			}
 			remaining -= int64(read)
+			s.arm(conn)
 		}
 		if err != nil {
 			return err

@@ -261,6 +261,60 @@ func TestServerCloseSeversClients(t *testing.T) {
 	}
 }
 
+// TestIdleConnectionSevered is the regression test for the deadlineprop
+// finding on serveConn: before the idle deadline existed, a peer that
+// went silent without closing its socket pinned the connection goroutine
+// forever. Now the server severs it within one idle timeout.
+func TestIdleConnectionSevered(t *testing.T) {
+	srv, _ := newPair(t, WithIdleTimeout(100*time.Millisecond))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Send nothing. The server must hang up on its own; the blocked read
+	// below observes the close. Bound the wait so a regression fails fast
+	// instead of deadlocking the test binary.
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := c.r.ReadString('\n')
+		done <- rerr
+	}()
+	select {
+	case rerr := <-done:
+		if rerr == nil {
+			t.Fatal("read returned nil error; expected server-side close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server kept the idle connection open past the idle timeout")
+	}
+}
+
+// TestActiveConnectionSurvivesShortIdleTimeout pins that the deadline
+// measures stall, not session length: a connection issuing commands and
+// moving payload bytes across many idle-timeout windows stays up.
+func TestActiveConnectionSurvivesShortIdleTimeout(t *testing.T) {
+	srv, backend := newPair(t, WithIdleTimeout(150*time.Millisecond))
+	content := randBytes(30_000, 7)
+	backend.Put("f", content)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if _, err := c.Retrieve("f", 0, &buf); err != nil {
+			t.Fatalf("active connection severed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), content) {
+			t.Fatal("content mismatch on active connection")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	srv, _ := newPair(t)
 	c, err := Dial(srv.Addr())

@@ -118,7 +118,7 @@ func (co *Coalescer) flushLoop() {
 		// Per-call outcomes are stamped onto the calls; the frame-level
 		// error is additionally handed to every group that rode the frame.
 		//vet:ignore errlost per-call Err fields are read by the enqueuers, who own the Call structs; this merged slice is only the frame view
-		//vet:ignore rpcdeadline the loop exits when the queue drains; the call deadline belongs to the wrapped client (arm WithCallTimeout there)
+		//vet:ignore deadlineprop the loop exits when the queue drains (every iteration consumes pending groups); per-call deadlines belong to the wrapped client (arm WithCallTimeout there)
 		err := CallBatch(co.c, calls)
 		for i, g := range groups {
 			groups[i] = nil
