@@ -57,6 +57,7 @@ type options struct {
 	shards   int
 	shardID  int
 	peers    string
+	replicas int
 }
 
 func main() {
@@ -69,7 +70,12 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "run a whole sharded service plane of N containers in this process")
 	flag.IntVar(&o.shardID, "shard-id", -1, "serve one shard of a multi-process plane (requires -peers)")
 	flag.StringVar(&o.peers, "peers", "", "comma-separated shard addresses of the whole plane, in placement order")
+	flag.IntVar(&o.replicas, "replicas", 1, "replication factor R of a sharded plane: each key range lives on its home shard plus R-1 successors, with automatic failover (needs -shards or -shard-id/-peers)")
 	flag.Parse()
+
+	if o.replicas > 1 && o.shards < 1 && o.shardID < 0 {
+		log.Fatalf("-replicas %d needs a sharded plane (-shards N, or -shard-id/-peers)", o.replicas)
+	}
 
 	if o.shards < 0 {
 		log.Fatalf("-shards %d: want a positive shard count", o.shards)
@@ -87,11 +93,27 @@ func main() {
 		return
 	}
 
+	peers, self, err := shardMembership(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg, cleanup, err := buildConfig(o)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	if o.replicas > 1 && peers != nil {
+		// One shard of a multi-process replicated plane. Boots always
+		// probe (no SkipBootCheck): this process cannot know whether a
+		// peer promoted over its ranges while it was down.
+		cfg.Replication = &runtime.ReplicationConfig{
+			Shard:    self,
+			Addrs:    peers,
+			Replicas: o.replicas,
+			Logf:     log.Printf,
+		}
+	}
 
 	c, err := runtime.NewContainer(cfg)
 	if err != nil {
@@ -99,12 +121,13 @@ func main() {
 	}
 	defer c.Close()
 
-	if peers, self, err := shardMembership(o); err != nil {
-		log.Fatal(err)
-	} else if peers != nil {
-		runtime.MountMembership(c.Mux, self, peers)
+	if peers != nil {
+		runtime.MountMembership(c.Mux, self, peers, o.replicas)
 		fmt.Printf("bitdew-service shard %d of %d listening\n", self, len(peers))
 		fmt.Printf("  membership:        %s\n", strings.Join(peers, ","))
+		if o.replicas > 1 {
+			fmt.Printf("  replication:       R=%d (automatic failover)\n", o.replicas)
+		}
 	} else {
 		fmt.Printf("bitdew-service listening\n")
 	}
@@ -186,6 +209,8 @@ func runShardedPlane(o options) error {
 		Addrs:       addrs,
 		StateDir:    o.stateDir,
 		FTPThrottle: o.throttle,
+		Replicas:    o.replicas,
+		ReplLogf:    log.Printf,
 	})
 	if err != nil {
 		return fmt.Errorf("starting sharded plane: %v", err)
@@ -193,6 +218,9 @@ func runShardedPlane(o options) error {
 	defer plane.Close()
 
 	fmt.Printf("bitdew-service sharded plane listening (%d shards)\n", plane.N())
+	if plane.Replicas() > 1 {
+		fmt.Printf("  replication:       R=%d (automatic failover)\n", plane.Replicas())
+	}
 	fmt.Printf("  membership:        %s\n", strings.Join(plane.Addrs(), ","))
 	for i, addr := range plane.Addrs() {
 		fmt.Printf("  shard %d rpc:       %s\n", i, addr)

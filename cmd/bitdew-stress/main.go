@@ -53,6 +53,8 @@ type options struct {
 	seed         int64
 	out          string
 	failOnErrors bool
+	failover     int
+	replicas     int
 }
 
 func main() {
@@ -72,6 +74,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "rng seed (op sequences are reproducible per seed)")
 	flag.StringVar(&o.out, "out", "BENCH_stress.json", "report file (empty: don't write)")
 	flag.BoolVar(&o.failOnErrors, "fail-on-errors", false, "exit nonzero when any op errored or throughput is zero")
+	flag.IntVar(&o.failover, "failover", 0, "instead of a load run, measure N kill-the-owner failover rounds on a replicated in-process plane (use with -shards, -replicas, -out BENCH_failover.json)")
+	flag.IntVar(&o.replicas, "replicas", 2, "replication factor of the -failover plane")
 	flag.Parse()
 
 	rep, err := run(o)
@@ -98,6 +102,26 @@ func run(o options) (*loadgen.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.failover > 0 {
+		if o.service != "" {
+			return nil, fmt.Errorf("bitdew-stress: -failover kills shards; it only runs against its own in-process plane, not -service")
+		}
+		shards := o.shards
+		if shards < 3 {
+			shards = 3
+		}
+		frep, err := testbed.RunFailover(testbed.FailoverConfig{
+			Shards:       shards,
+			Replicas:     o.replicas,
+			PayloadBytes: o.payload,
+			Rounds:       o.failover,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return frep.BuildReport(), nil
+	}
+
 	load := loadgen.Config{
 		Clients:  o.clients,
 		Duration: o.duration,

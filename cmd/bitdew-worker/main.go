@@ -22,6 +22,7 @@ import (
 
 	"bitdew/internal/core"
 	"bitdew/internal/repository"
+	"bitdew/internal/runtime"
 )
 
 func main() {
@@ -41,7 +42,14 @@ func main() {
 		name = h
 	}
 
-	set, err := core.ConnectSharded(core.ParseMembership(*service))
+	addrs := core.ParseMembership(*service)
+	var shardOpts []core.ShardOption
+	if len(addrs) > 1 {
+		// A replicated plane advertises R in its membership table; route
+		// around dead shards instead of erroring on data homed there.
+		shardOpts = append(shardOpts, core.WithReplicas(runtime.DiscoverReplicas(addrs)))
+	}
+	set, err := core.ConnectSharded(addrs, shardOpts...)
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *service, err)
 	}

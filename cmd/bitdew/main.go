@@ -12,6 +12,7 @@
 //	bitdew -service HOST:PORT status
 //	bitdew -service HOST:PORT,HOST:PORT where <name>
 //	bitdew -service HOST:PORT ring
+//	bitdew -service HOST:PORT,HOST:PORT repl [wait]
 //
 // Example:
 //
@@ -29,10 +30,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"bitdew/internal/attr"
 	"bitdew/internal/core"
+	"bitdew/internal/repl"
 	"bitdew/internal/rpc"
 	"bitdew/internal/runtime"
 )
@@ -54,8 +58,18 @@ func main() {
 		cmdRing(addrs[0])
 		return
 	}
+	if args[0] == "repl" {
+		cmdRepl(addrs, args[1:])
+		return
+	}
 
-	set, err := core.ConnectSharded(addrs)
+	var shardOpts []core.ShardOption
+	if len(addrs) > 1 {
+		// A replicated plane advertises R in its membership table; route
+		// around dead shards the same way the runtime's clients do.
+		shardOpts = append(shardOpts, core.WithReplicas(runtime.DiscoverReplicas(addrs)))
+	}
+	set, err := core.ConnectSharded(addrs, shardOpts...)
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *service, err)
 	}
@@ -87,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bitdew [-service addr[,addr...]] put|get|ls|schedule|delete|status|where|ring ...")
+	fmt.Fprintln(os.Stderr, "usage: bitdew [-service addr[,addr...]] put|get|ls|schedule|delete|status|where|ring|repl ...")
 	os.Exit(2)
 }
 
@@ -122,6 +136,75 @@ func cmdRing(addr string) {
 			marker = "*"
 		}
 		fmt.Printf("%s shard %d  %s\n", marker, i, a)
+	}
+}
+
+// cmdRepl prints each shard's replication status — owned ranges, stream
+// position, and how far each ship target has acknowledged. `repl wait`
+// blocks until every live shard's outbound streams are fully acknowledged
+// with no outstanding content pulls: the convergence barrier scripts use
+// before killing a shard (the CI failover smoke relies on it).
+func cmdRepl(addrs []string, args []string) {
+	wait := len(args) == 1 && args[0] == "wait"
+	if len(args) > 1 || (len(args) == 1 && !wait) {
+		log.Fatal("repl: want no argument, or `wait`")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		statuses := make([]*repl.StatusReply, len(addrs))
+		for i, addr := range addrs {
+			c, err := rpc.Dial(addr, rpc.WithCallTimeout(5*time.Second))
+			if err != nil {
+				continue // down: printed as such below
+			}
+			var rep repl.StatusReply
+			if err := c.Call(repl.ServiceName, "Status", repl.StatusArgs{}, &rep); err == nil {
+				statuses[i] = &rep
+			}
+			c.Close()
+		}
+		converged := true
+		for _, st := range statuses {
+			if st == nil {
+				continue // a dead shard cannot lag; its successor serves
+			}
+			for _, tgt := range st.Targets {
+				if !tgt.Synced || tgt.Acked < st.Seq || tgt.PendingContent > 0 {
+					converged = false
+				}
+			}
+		}
+		if !wait || converged {
+			for i, st := range statuses {
+				if st == nil {
+					fmt.Printf("shard %d  %s  down\n", i, addrs[i])
+					continue
+				}
+				ranges := make([]string, 0, len(st.Serving))
+				for r, epoch := range st.Serving {
+					ranges = append(ranges, fmt.Sprintf("%d:%d", r, epoch))
+				}
+				sort.Strings(ranges)
+				fmt.Printf("shard %d  %s  epoch %d  seq %d  serves [%s]\n",
+					i, addrs[i], st.Epoch, st.Seq, strings.Join(ranges, " "))
+				for _, tgt := range st.Targets {
+					state := "lagging"
+					if tgt.Synced && tgt.Acked >= st.Seq && tgt.PendingContent == 0 {
+						state = "synced"
+					}
+					fmt.Printf("  -> %s  acked %d  pending-content %d  %s\n",
+						tgt.Addr, tgt.Acked, tgt.PendingContent, state)
+				}
+			}
+			if !converged {
+				os.Exit(1)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("repl wait: streams still lagging after 60s")
+		}
+		time.Sleep(200 * time.Millisecond)
 	}
 }
 

@@ -35,7 +35,15 @@ func main() {
 	var connect func() (*core.ShardSet, error)
 	if *serviceAddr != "" {
 		addrs := core.ParseMembership(*serviceAddr)
-		connect = func() (*core.ShardSet, error) { return core.ConnectSharded(addrs) }
+		// Over a replicated plane (bitdew-service -replicas R) the clients
+		// learn R from the membership table and route around dead shards.
+		replicas := 0
+		if len(addrs) > 1 {
+			replicas = runtime.DiscoverReplicas(addrs)
+		}
+		connect = func() (*core.ShardSet, error) {
+			return core.ConnectSharded(addrs, core.WithReplicas(replicas))
+		}
 	} else {
 		// A service container bundles the four D* services (Data Catalog,
 		// Data Repository, Data Transfer, Data Scheduler) plus the transfer

@@ -32,6 +32,13 @@ const (
 	tableLocators = "dc_locators"
 )
 
+// TableData and TableLocators name the catalog's db.Store tables; the
+// replication layer lists them as the gated, UID-keyed tables it protects.
+const (
+	TableData     = tableData
+	TableLocators = tableLocators
+)
+
 // ErrNotFound is returned when a datum is absent from the catalog.
 var ErrNotFound = errors.New("catalog: data not found")
 

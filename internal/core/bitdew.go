@@ -464,25 +464,38 @@ func (b *BitDew) AllData() ([]data.Data, error) {
 }
 
 // fanOutSearch runs a catalog query against every shard in parallel and
-// merges the answers in stable UID order. A datum lives on exactly one
-// shard, so the merge never deduplicates. Shards fail independently here
-// too: while the plane is degraded the merged answer is the SURVIVORS'
-// view — their data stay searchable and fetchable, which is the whole
-// point of the blast-radius design — and the query only errors when every
-// shard refused it.
+// merges the answers in stable UID order. On an unreplicated plane a datum
+// lives on exactly one shard, so the merge never deduplicates. Shards fail
+// independently here too: while the plane is degraded the merged answer is
+// the SURVIVORS' view — their data stay searchable and fetchable, which is
+// the whole point of the blast-radius design — and the query only errors
+// when every shard refused it.
+//
+// Over a replicated plane the query runs once per DISTINCT owner (after a
+// failover one physical shard serves several ranges, and would answer with
+// its whole gated view per range slot queried), and the merge dedupes by
+// UID as a second line of defense against owner moves mid-query.
 func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.Data, error) {
 	if b.set.N() == 1 {
 		return query(b.set.Shard(0))
 	}
-	parts := make([][]data.Data, b.set.N())
-	errs := make([]error, b.set.N())
+	slots := make([]int, 0, b.set.N())
+	ownerSeen := make(map[int]bool, b.set.N())
+	for i := 0; i < b.set.N(); i++ {
+		if owner := b.set.OwnerOf(i); !ownerSeen[owner] {
+			ownerSeen[owner] = true
+			slots = append(slots, i)
+		}
+	}
+	parts := make([][]data.Data, len(slots))
+	errs := make([]error, len(slots))
 	var wg sync.WaitGroup
-	for i, c := range b.set.Shards() {
+	for j, i := range slots {
 		wg.Add(1)
-		go func(i int, c *Comms) {
+		go func(j, i int) {
 			defer wg.Done()
-			parts[i], errs[i] = query(c)
-		}(i, c)
+			parts[j], errs[j] = query(b.set.Shard(i))
+		}(j, i)
 	}
 	wg.Wait()
 	failed := 0
@@ -491,7 +504,7 @@ func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.D
 			failed++
 		}
 	}
-	if failed == b.set.N() {
+	if failed == len(slots) {
 		return nil, errors.Join(errs...)
 	}
 	var out []data.Data
@@ -499,7 +512,21 @@ func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.D
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	if b.set.Replicated() {
+		out = dedupeByUID(out)
+	}
 	return out, nil
+}
+
+// dedupeByUID collapses adjacent duplicates in a UID-sorted slice.
+func dedupeByUID(in []data.Data) []data.Data {
+	out := in[:0]
+	for i, d := range in {
+		if i == 0 || d.UID != in[i-1].UID {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // SearchDataFirst returns the single match for name, erroring on none.

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bitdew/internal/dht"
+	"bitdew/internal/repl"
+	"bitdew/internal/rpc"
+)
+
+// Client-side failover routing for a replicated plane (internal/repl).
+//
+// Over an unreplicated plane, slot i of a ShardSet IS shard i. Over a
+// replicated plane the slots become key RANGES: slot i's connection is a
+// failoverClient that forwards to whichever shard currently owns range i,
+// re-resolving ownership when the owner dies. The rest of the client stack
+// (batch partitioning, locator cache, heartbeats) keeps addressing slots
+// and never learns about failover — except that two slots may temporarily
+// share one physical shard, which is why searches dedupe and heartbeats
+// group by owner.
+//
+// The retry contract is strict: a call is re-routed only on rpc.ErrTransport
+// (the reconnect layer guarantees it was never delivered) or a repl
+// ownership refusal (rejected before execution). rpc.ErrDeadline is NEVER
+// retried — the call may have executed, and replaying a Put/Schedule/Delete
+// could double-apply it. Deadline errors surface to the caller exactly as
+// they do on an unreplicated plane.
+
+const (
+	// failoverProbeTimeout bounds each ownership probe; it is the client's
+	// share of the failover-latency budget.
+	failoverProbeTimeout = 750 * time.Millisecond
+	// failoverPromoteTimeout bounds a Promote call, which copies the whole
+	// adopted range into the successor's live store.
+	failoverPromoteTimeout = 30 * time.Second
+	// failoverPasses bounds how many times one logical call may re-route
+	// before giving up; resolvePasses bounds one resolution's probe rounds
+	// (it must outlast a promotion racing in from another client).
+	failoverPasses = 3
+	resolvePasses  = 40
+	resolveBackoff = 250 * time.Millisecond
+	// failoverDialAttempts keeps the per-call reconnect budget small: the
+	// router wants a dead owner to surface as ErrTransport in tens of
+	// milliseconds so the probe/promote path can take over, not after the
+	// multi-second budget that suits an unreplicated plane.
+	failoverDialAttempts = 2
+)
+
+// failoverRouter tracks range ownership for one client and owns the
+// physical per-shard connections the range slots share.
+type failoverRouter struct {
+	addrs    []string
+	replicas int
+	place    *dht.Placement
+	// onReroute, when set, is told that rangeID moved to shard newOwner
+	// (the ShardSet uses it to drop cached locators of the range).
+	onReroute func(rangeID, newOwner int)
+	// dialExtra contributes extra options to the shared per-shard dials;
+	// fault-injection tests arm rpc.FaultPlans with it. Probe and Promote
+	// connections are NOT armed — they model the control path, and tests
+	// script the data path.
+	dialExtra []rpc.DialOption
+
+	mu      sync.Mutex
+	owner   []int // owner[r] = shard currently serving range r
+	clients map[int]rpc.Client
+	closed  bool
+}
+
+func newFailoverRouter(addrs []string, replicas int) *failoverRouter {
+	r := &failoverRouter{
+		addrs:    addrs,
+		replicas: replicas,
+		place:    dht.NewPlacement(len(addrs)),
+		owner:    make([]int, len(addrs)),
+		clients:  make(map[int]rpc.Client),
+	}
+	for i := range r.owner {
+		r.owner[i] = i
+	}
+	return r
+}
+
+// ownerOf returns the shard currently believed to own rangeID.
+func (r *failoverRouter) ownerOf(rangeID int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.owner[rangeID]
+}
+
+// clientFor returns (building lazily) the shared connection to shard.
+func (r *failoverRouter) clientFor(shard int) rpc.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.clients[shard]; ok {
+		return c
+	}
+	opts := append([]rpc.DialOption{rpc.WithCallTimeout(DefaultCallTimeout)}, r.dialExtra...)
+	c := rpc.DialAutoLazyN(r.addrs[shard], failoverDialAttempts, opts...)
+	r.clients[shard] = c
+	return c
+}
+
+// retryableFailover reports whether err licenses re-routing: transport
+// errors were never delivered and ownership refusals were rejected before
+// execution. Deadline errors never qualify.
+func retryableFailover(err error) bool {
+	return errors.Is(err, rpc.ErrTransport) || repl.IsNotOwner(err)
+}
+
+// reroute re-resolves rangeID's owner after err and records it. It returns
+// false when no owner could be established (the whole replica set is down).
+func (r *failoverRouter) reroute(rangeID int, err error) bool {
+	newOwner, rerr := r.resolve(rangeID)
+	if rerr != nil {
+		return false
+	}
+	r.mu.Lock()
+	changed := r.owner[rangeID] != newOwner
+	r.owner[rangeID] = newOwner
+	r.mu.Unlock()
+	if changed && r.onReroute != nil {
+		r.onReroute(rangeID, newOwner)
+	}
+	return true
+}
+
+// resolve finds rangeID's current owner: probe the replica set for a shard
+// already Serving; while a promotion is in flight anywhere, wait for it to
+// resolve; if nobody serves and nothing is in flight, ask the first LIVE
+// candidate to promote itself. Bounded by resolvePasses.
+func (r *failoverRouter) resolve(rangeID int) (int, error) {
+	cands := r.place.Successors(rangeID, r.replicas)
+	for pass := 0; pass < resolvePasses; pass++ {
+		promoting := false
+		for _, c := range cands {
+			rep, err := r.probeOwner(c, rangeID)
+			if err != nil {
+				continue
+			}
+			if rep.Serving {
+				return c, nil
+			}
+			if rep.Promoting {
+				promoting = true
+			}
+		}
+		if !promoting {
+			for _, c := range cands {
+				if r.promote(c, rangeID) {
+					return c, nil
+				}
+			}
+		}
+		time.Sleep(resolveBackoff)
+	}
+	return 0, fmt.Errorf("core: no live owner for range %d among shards %v", rangeID, cands)
+}
+
+// probeOwner asks shard c who owns rangeID on a fresh, tightly-bounded
+// connection (the shared lazy client would mask death behind reconnects).
+func (r *failoverRouter) probeOwner(shard, rangeID int) (repl.OwnerReply, error) {
+	c, err := rpc.Dial(r.addrs[shard], rpc.WithCallTimeout(failoverProbeTimeout))
+	if err != nil {
+		return repl.OwnerReply{}, err
+	}
+	defer c.Close()
+	var rep repl.OwnerReply
+	err = c.Call(repl.ServiceName, "Owner", repl.OwnerArgs{Range: rangeID}, &rep)
+	return rep, err
+}
+
+// promote asks shard c to take ownership of rangeID; false on refusal
+// (an earlier candidate is alive — the next resolve pass will find it).
+func (r *failoverRouter) promote(shard, rangeID int) bool {
+	c, err := rpc.Dial(r.addrs[shard], rpc.WithCallTimeout(failoverPromoteTimeout))
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	var rep repl.PromoteReply
+	if err := c.Call(repl.ServiceName, "Promote", repl.PromoteArgs{Range: rangeID}, &rep); err != nil {
+		return false
+	}
+	return rep.Promoted
+}
+
+// RoundTrips sums request frames across the physical shard connections.
+func (r *failoverRouter) RoundTrips() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for _, c := range r.clients {
+		if n, ok := rpc.RoundTrips(c); ok {
+			total += n
+		}
+	}
+	return total
+}
+
+// Close releases every physical connection (idempotent; shared by all
+// range slots, so the first slot's Close does the work).
+func (r *failoverRouter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var first error
+	for _, c := range r.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// failoverClient is range slot's rpc.Client: every call forwards to the
+// range's current owner and re-routes on transport or ownership errors.
+type failoverClient struct {
+	r       *failoverRouter
+	rangeID int
+}
+
+func (f *failoverClient) Call(service, method string, args, reply any) error {
+	var err error
+	for pass := 0; pass < failoverPasses; pass++ {
+		owner := f.r.ownerOf(f.rangeID)
+		err = f.r.clientFor(owner).Call(service, method, args, reply)
+		if err == nil || !retryableFailover(err) {
+			return err
+		}
+		if !f.r.reroute(f.rangeID, err) {
+			return err
+		}
+	}
+	return err
+}
+
+// CallBatch ships the batch to the range's owner. A transport-level
+// failure re-routes and replays the whole batch (ErrTransport guarantees
+// none of it was delivered); per-call ownership refusals replay just the
+// refused calls on the new owner, preserving the others' replies.
+func (f *failoverClient) CallBatch(calls []*rpc.Call) error {
+	pending := calls
+	var err error
+	for pass := 0; pass < failoverPasses; pass++ {
+		owner := f.r.ownerOf(f.rangeID)
+		err = rpc.CallBatch(f.r.clientFor(owner), pending)
+		if err != nil {
+			if !retryableFailover(err) {
+				return err
+			}
+			if !f.r.reroute(f.rangeID, err) {
+				return err
+			}
+			continue
+		}
+		var refused []*rpc.Call
+		for _, call := range pending {
+			if call.Err != nil && repl.IsNotOwner(call.Err) {
+				refused = append(refused, call)
+			}
+		}
+		if len(refused) == 0 {
+			return nil
+		}
+		if !f.r.reroute(f.rangeID, refused[0].Err) {
+			return nil // refusals stay in call.Err for the caller
+		}
+		pending = refused
+	}
+	return err
+}
+
+func (f *failoverClient) RoundTrips() uint64 {
+	// Physical traffic is shared by all slots; the router reports it once
+	// (ShardSet special-cases this), so slots report none themselves.
+	return 0
+}
+
+func (f *failoverClient) Close() error { return f.r.Close() }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bitdew/internal/data"
+	"bitdew/internal/dht"
 )
 
 // defaultLocatorCacheSize bounds the client-side locator cache. Each entry
@@ -105,6 +106,24 @@ func (c *locatorCache) invalidate(uid data.UID) {
 		next := el.Next()
 		entry := el.Value.(*locatorCacheEntry)
 		if entry.key.uid == uid {
+			c.order.Remove(el)
+			delete(c.entries, entry.key)
+		}
+		el = next
+	}
+}
+
+// invalidateRange drops every entry whose datum homes on rangeID under
+// place. The failover router calls it when a range's ownership moves: the
+// cached endpoints may belong to the dead shard, and the promoted owner
+// must be re-consulted.
+func (c *locatorCache) invalidateRange(place *dht.Placement, rangeID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		entry := el.Value.(*locatorCacheEntry)
+		if place.ShardOf(string(entry.key.uid)) == rangeID {
 			c.order.Remove(el)
 			delete(c.entries, entry.key)
 		}

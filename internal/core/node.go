@@ -82,15 +82,20 @@ type Node struct {
 	// callers must not interleave their reports. It is held only across
 	// the report, never across the drop/fetch apply phase or its callbacks.
 	syncMu sync.Mutex
-	// sessions holds the per-shard delta-heartbeat state, guarded by
-	// syncMu (not mu): for each shard, the subset of the cache homed there
-	// that the shard's scheduler acknowledged, at which epoch. Each
-	// heartbeat ships only the difference between the current per-shard
-	// set and its session's reported set, falling back to a full report
-	// when that scheduler demands a resync (restart, lost ack). Shards
-	// fail independently: a dead shard's heartbeat error never blocks the
-	// others' placements from applying.
-	sessions []shardSession
+	// sessions holds the delta-heartbeat state keyed by the PHYSICAL shard
+	// whose scheduler acknowledged it, guarded by syncMu (not mu): the
+	// subset of the cache that scheduler acknowledged, at which epoch. On
+	// an unreplicated plane the key is simply the home-shard index; on a
+	// replicated plane it is the range's current owner (set.OwnerOf), so a
+	// failover retires the dead shard's session and starts the promoted
+	// owner's fresh — whose first heartbeat is a full report, the delta
+	// protocol's designed recovery. Each heartbeat ships only the
+	// difference between the owner's current set and its session's
+	// reported set, falling back to a full report when that scheduler
+	// demands a resync (restart, lost ack). Shards fail independently: a
+	// dead shard's heartbeat error never blocks the others' placements
+	// from applying.
+	sessions map[int]*shardSession
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -136,7 +141,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		syncPeriod: cfg.SyncPeriod,
 		cache:      make(map[data.UID]cacheEntry),
 		inflight:   make(map[data.UID]bool),
-		sessions:   make([]shardSession, set.N()),
+		sessions:   make(map[int]*shardSession),
 		stop:       make(chan struct{}),
 	}
 	n.BitDew = NewBitDewSharded(set, cfg.Backend, engine, cfg.Host)
@@ -261,9 +266,13 @@ func (n *Node) SyncOnce() error {
 }
 
 // heartbeat runs the report half of one synchronization under syncMu: one
-// delta heartbeat per shard, in parallel, each against its own session.
-// The merged result carries every successful shard's answer; the error
-// joins the failed shards'.
+// delta heartbeat per physical shard, in parallel, each against its own
+// session. Over a replicated plane the cache is grouped by each range's
+// CURRENT owner — after a failover one physical shard may answer for
+// several ranges, and must receive those ranges' data in one session — and
+// the heartbeat goes through that range's slot so it keeps failing over
+// mid-report. The merged result carries every successful shard's answer;
+// the error joins the failed shards'.
 func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
@@ -286,44 +295,88 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	}
 	n.mu.Unlock()
 
-	var merged scheduler.SyncDeltaResult
-	if n.set.N() == 1 {
-		res, err := n.heartbeatShard(0, perShard[0], clientOnly)
-		if err != nil {
-			return merged, err
+	// Group ranges by current owner: owner → (representative range slot,
+	// union of the owned ranges' sets). Identity on an unreplicated plane.
+	type ownerGroup struct {
+		slot    int
+		current map[data.UID]bool
+	}
+	groups := make(map[int]*ownerGroup, n.set.N())
+	for i := 0; i < n.set.N(); i++ {
+		owner := n.set.OwnerOf(i)
+		g := groups[owner]
+		if g == nil {
+			g = &ownerGroup{slot: i, current: perShard[i]}
+			groups[owner] = g
+			continue
 		}
-		merged.Drop = res.Drop
-		merged.Fetch = res.Fetch
+		for uid := range perShard[i] {
+			g.current[uid] = true
+		}
+	}
+	// Sessions of shards that currently own nothing (failed over, not yet
+	// rejoined) are dead weight at best and would resurrect stale mirrors
+	// at worst; drop them. Create missing ones here, single-threaded, so
+	// the per-owner goroutines below never write the map.
+	for owner := range n.sessions {
+		if groups[owner] == nil {
+			delete(n.sessions, owner)
+		}
+	}
+	for owner := range groups {
+		if n.sessions[owner] == nil {
+			n.sessions[owner] = &shardSession{}
+		}
+	}
+
+	var merged scheduler.SyncDeltaResult
+	if len(groups) == 1 {
+		for owner, g := range groups {
+			res, err := n.heartbeatShard(owner, g.slot, g.current, clientOnly)
+			if err != nil {
+				return merged, err
+			}
+			merged.Drop = res.Drop
+			merged.Fetch = res.Fetch
+		}
 		return merged, nil
 	}
 
-	results := make([]scheduler.SyncDeltaResult, n.set.N())
-	errs := make([]error, n.set.N())
-	var wg sync.WaitGroup
-	for i := range n.sessions {
+	results := make(map[int]scheduler.SyncDeltaResult, len(groups))
+	errs := make([]error, 0, len(groups))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for owner, g := range groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(owner int, g *ownerGroup) {
 			defer wg.Done()
-			results[i], errs[i] = n.heartbeatShard(i, perShard[i], clientOnly)
-		}(i)
+			res, err := n.heartbeatShard(owner, g.slot, g.current, clientOnly)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			results[owner] = res
+		}(owner, g)
 	}
 	wg.Wait()
-	for i, res := range results {
-		if errs[i] != nil {
-			continue
-		}
+	for _, res := range results {
 		merged.Drop = append(merged.Drop, res.Drop...)
 		merged.Fetch = append(merged.Fetch, res.Fetch...)
 	}
 	return merged, errors.Join(errs...)
 }
 
-// heartbeatShard runs one shard's delta heartbeat (with the full-report
-// fallback) against its session, committing the acknowledged state on
-// success. The caller holds syncMu; each shard's session is touched only by
-// its own goroutine.
-func (n *Node) heartbeatShard(shard int, current map[data.UID]bool, clientOnly bool) (scheduler.SyncDeltaResult, error) {
-	sess := &n.sessions[shard]
+// heartbeatShard runs one physical shard's delta heartbeat (with the
+// full-report fallback) against its session, committing the acknowledged
+// state on success. The report travels over range slot's connection so it
+// benefits from failover routing. The caller holds syncMu and has created
+// the session; each owner's session is touched only by its own goroutine.
+func (n *Node) heartbeatShard(owner, slot int, current map[data.UID]bool, clientOnly bool) (scheduler.SyncDeltaResult, error) {
+	sess := n.sessions[owner]
 	args := scheduler.SyncDeltaArgs{
 		Host:       n.Host,
 		Epoch:      sess.epoch,
@@ -347,7 +400,7 @@ func (n *Node) heartbeatShard(shard int, current map[data.UID]bool, clientOnly b
 		}
 	}
 
-	ds := n.set.Shard(shard).DS
+	ds := n.set.Shard(slot).DS
 	res, err := ds.SyncDelta(args)
 	if err != nil {
 		return res, fmt.Errorf("core: sync %s: %w", n.Host, err)

@@ -24,6 +24,27 @@ type ShardSet struct {
 	shards []*Comms
 	place  *dht.Placement
 	cache  *locatorCache
+	// router, when non-nil, makes the shards slots RANGE slots over a
+	// replicated plane: slot i forwards to whichever shard currently owns
+	// range i, failing over when it dies (see failover.go). Nil over an
+	// unreplicated plane, where slot i IS shard i.
+	router *failoverRouter
+}
+
+// ShardOption configures ConnectSharded.
+type ShardOption func(*shardOptions)
+
+type shardOptions struct {
+	replicas int
+}
+
+// WithReplicas tells the client the plane's replication factor R (from its
+// -replicas flag or the ring membership table). With R > 1 every range slot
+// routes around dead shards: calls failing at the transport level or
+// refused as not-owner are retried against the range's promoted successor.
+// Deadline errors are never retried — the call may have executed.
+func WithReplicas(r int) ShardOption {
+	return func(o *shardOptions) { o.replicas = r }
 }
 
 // ParseMembership splits a comma-separated shard address list, trimming
@@ -49,9 +70,22 @@ func ParseMembership(s string) []string {
 // can attach to a degraded plane exactly as an old client rides through
 // the degradation. Only a plane with EVERY shard unreachable refuses the
 // connect.
-func ConnectSharded(addrs []string) (*ShardSet, error) {
+//
+// With WithReplicas(R>1) the connections become failover-aware range slots
+// instead of fixed per-shard links (see failover.go).
+func ConnectSharded(addrs []string, opts ...ShardOption) (*ShardSet, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("core: connect sharded: empty membership")
+	}
+	var o shardOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.replicas > len(addrs) {
+		o.replicas = len(addrs)
+	}
+	if o.replicas > 1 {
+		return connectFailover(addrs, o.replicas)
 	}
 	shards := make([]*Comms, 0, len(addrs))
 	var dialErrs []error
@@ -70,6 +104,41 @@ func ConnectSharded(addrs []string) (*ShardSet, error) {
 		return nil, errors.Join(dialErrs...)
 	}
 	return NewShardSet(shards...), nil
+}
+
+// connectFailover builds the replicated-plane client: one shared router
+// over the physical shard connections, and one failoverClient-backed Comms
+// per key range. Like the unreplicated connect, it only refuses when the
+// whole plane is unreachable.
+func connectFailover(addrs []string, replicas int) (*ShardSet, error) {
+	var dialErrs []error
+	reachable := false
+	for i, addr := range addrs {
+		c, err := rpc.Dial(addr, rpc.WithCallTimeout(failoverProbeTimeout))
+		if err == nil {
+			c.Close()
+			reachable = true
+			break
+		}
+		dialErrs = append(dialErrs, fmt.Errorf("core: connect shard %d of %d: %w", i, len(addrs), err))
+	}
+	if !reachable {
+		return nil, errors.Join(dialErrs...)
+	}
+	router := newFailoverRouter(addrs, replicas)
+	shards := make([]*Comms, len(addrs))
+	for i := range shards {
+		shards[i] = commsFrom(&failoverClient{r: router, rangeID: i})
+	}
+	set := NewShardSet(shards...)
+	set.router = router
+	// A promotion moves a range's rows to another physical host, so cached
+	// locator endpoints of that range may now be dead — drop them and let
+	// the next fetch re-resolve through the promoted owner.
+	router.onReroute = func(rangeID, _ int) {
+		set.cache.invalidateRange(set.place, rangeID)
+	}
+	return set, nil
 }
 
 // NewShardSet assembles a shard router over already-connected Comms (TCP,
@@ -105,8 +174,26 @@ func (s *ShardSet) Shard(i int) *Comms { return s.shards[i] }
 // shared; do not mutate it.
 func (s *ShardSet) Shards() []*Comms { return s.shards }
 
+// OwnerOf returns the physical shard currently serving range i: i itself on
+// an unreplicated plane, possibly a promoted successor on a replicated one.
+// Callers that fan out per shard use it to visit each live host once.
+func (s *ShardSet) OwnerOf(i int) int {
+	if s.router == nil {
+		return i
+	}
+	return s.router.ownerOf(i)
+}
+
+// Replicated reports whether this client routes over a replicated plane.
+func (s *ShardSet) Replicated() bool { return s.router != nil }
+
 // RoundTrips sums the request frames sent to every shard.
 func (s *ShardSet) RoundTrips() uint64 {
+	if s.router != nil {
+		// Range slots share the router's physical connections; counting
+		// per-slot would double-count shared frames, so ask the router once.
+		return s.router.RoundTrips()
+	}
 	var total uint64
 	for _, c := range s.shards {
 		total += c.RoundTrips()

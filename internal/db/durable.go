@@ -261,6 +261,18 @@ func (s *DurableStore) Len(table string) int {
 	return s.mem.Len(table)
 }
 
+// SnapshotTo serialises the full current state to w as a WAL stream of puts
+// (the replication feed's snapshot format), without touching the on-disk
+// snapshot or rotating the log.
+func (s *DurableStore) SnapshotTo(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.mem.Snapshot(w)
+}
+
 // WALRecords reports the records appended since the last compaction (the
 // length of the replay a crash right now would pay on top of the snapshot).
 func (s *DurableStore) WALRecords() int {

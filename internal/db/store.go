@@ -213,6 +213,10 @@ func (s *RowStore) Snapshot(w io.Writer) error {
 	return nil
 }
 
+// SnapshotTo is Snapshot under the name the replication feed's snapshotter
+// interface uses (FeedStore wraps either a RowStore or a DurableStore).
+func (s *RowStore) SnapshotTo(w io.Writer) error { return s.Snapshot(w) }
+
 // Replay applies a WAL or snapshot stream from r into the store.
 func (s *RowStore) Replay(r io.Reader) error {
 	dec := gob.NewDecoder(r)

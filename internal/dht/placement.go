@@ -61,6 +61,50 @@ func NewPlacement(n int) *Placement {
 // Shards returns the shard count the placement was built over.
 func (p *Placement) Shards() int { return p.n }
 
+// Successors returns the replica set of shard's key range: shard itself
+// followed by up to r-1 distinct successor shards, walking the identifier
+// circle clockwise from shard's lowest placement point. The walk is a
+// deterministic function of (n, shard, r) alone — every client and every
+// shard derive the identical replica set from the shard count, exactly like
+// ShardOf derives the home shard — so no replica-placement state is ever
+// exchanged. Ranges replicate wholesale (a shard's WAL is one ordered
+// mutation stream, shipped as a unit), which is why the successor list is
+// per SHARD rather than per key: the circle anchors the walk, the range
+// rides it whole.
+func (p *Placement) Successors(shard, r int) []int {
+	if shard < 0 || shard >= p.n {
+		panic(fmt.Sprintf("dht: successors of shard %d on a %d-shard placement", shard, p.n))
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > p.n {
+		r = p.n
+	}
+	out := []int{shard}
+	if r == 1 {
+		return out
+	}
+	// Find shard's lowest point, then walk clockwise collecting the first
+	// occurrence of each other shard.
+	start := -1
+	for i, pt := range p.points {
+		if pt.shard == shard {
+			start = i
+			break
+		}
+	}
+	seen := map[int]bool{shard: true}
+	for off := 1; off <= len(p.points) && len(out) < r; off++ {
+		pt := p.points[(start+off)%len(p.points)]
+		if !seen[pt.shard] {
+			seen[pt.shard] = true
+			out = append(out, pt.shard)
+		}
+	}
+	return out
+}
+
 // ShardOf returns the home shard of key: the shard owning the first
 // placement point at or after HashID(key) on the circle (wrapping).
 func (p *Placement) ShardOf(key string) int {

@@ -64,3 +64,55 @@ func TestPlacementMonotone(t *testing.T) {
 		t.Fatalf("adding a 5th shard moved %d of %d keys", moved, keys)
 	}
 }
+
+// TestPlacementSuccessors pins the replica-set walk: home shard first, all
+// members distinct, length min(r, n), deterministic across placements, and r
+// clamped on both ends.
+func TestPlacementSuccessors(t *testing.T) {
+	p := NewPlacement(5)
+	for shard := 0; shard < 5; shard++ {
+		for r := 1; r <= 7; r++ {
+			succ := p.Successors(shard, r)
+			want := r
+			if want > 5 {
+				want = 5
+			}
+			if len(succ) != want {
+				t.Fatalf("Successors(%d, %d) = %v, want length %d", shard, r, succ, want)
+			}
+			if succ[0] != shard {
+				t.Fatalf("Successors(%d, %d) = %v, home shard not first", shard, r, succ)
+			}
+			seen := map[int]bool{}
+			for _, s := range succ {
+				if s < 0 || s >= 5 || seen[s] {
+					t.Fatalf("Successors(%d, %d) = %v: invalid or duplicate member %d", shard, r, succ, s)
+				}
+				seen[s] = true
+			}
+		}
+		// r < 1 clamps to the home shard alone.
+		if got := p.Successors(shard, 0); len(got) != 1 || got[0] != shard {
+			t.Fatalf("Successors(%d, 0) = %v, want [%d]", shard, got, shard)
+		}
+	}
+
+	// Deterministic: two independently built placements agree, and longer
+	// walks extend shorter ones (prefix property — a client asking for r=2
+	// and a shard asking for r=3 agree on the first successor).
+	q := NewPlacement(5)
+	for shard := 0; shard < 5; shard++ {
+		s2, s3 := p.Successors(shard, 2), q.Successors(shard, 3)
+		for i := range s2 {
+			if s2[i] != s3[i] {
+				t.Fatalf("shard %d: Successors prefix mismatch: r=2 %v vs r=3 %v", shard, s2, s3)
+			}
+		}
+	}
+
+	// Single-shard plane: the only replica is the shard itself.
+	one := NewPlacement(1)
+	if got := one.Successors(0, 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Successors on 1-shard plane = %v", got)
+	}
+}

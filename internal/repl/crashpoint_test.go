@@ -1,0 +1,207 @@
+package repl
+
+import (
+	"testing"
+
+	"bitdew/internal/dht"
+	"bitdew/internal/rpc"
+)
+
+// The crash-point matrix: the primary dies at precise points in the
+// shipping of a mutation — scripted with rpc.FaultPlan on the
+// primary→replica link, so the frame carrying the mutation is lost,
+// duplicated or retried deterministically — and in every case the
+// promoted replica serves a clean prefix of the mutation stream: no torn
+// rows, no duplicated application, no reordering. These are the failure
+// shapes a whole-server kill (failover_test.go, testbed) cannot reach,
+// because there the link and the process die at the same instant.
+
+// faultPlane boots a 2-shard R=2 plane whose shard-0 outbound replication
+// dials are armed with plan. Both the Sync and every Apply frame shard 0
+// ships to its successor count against the plan, redials included.
+func faultPlane(t *testing.T, plan *rpc.FaultPlan) *plane {
+	t.Helper()
+	return newFaultPlane(t, 2, 2, func(from int, addr string) []rpc.DialOption {
+		if from == 0 {
+			return []rpc.DialOption{rpc.WithFaultPlan(plan)}
+		}
+		return nil
+	})
+}
+
+// dropFrom scripts FaultDrop for the next n frames after the plan's
+// current count — "the link is dead from this instant on".
+func dropFrom(plan *rpc.FaultPlan, n uint64) uint64 {
+	base := plan.Frames()
+	for f := base + 1; f <= base+n; f++ {
+		plan.Set(f, rpc.Fault{Action: rpc.FaultDrop})
+	}
+	return base
+}
+
+// TestCrashMidShip kills the primary while a mutation is in flight and
+// every frame carrying it is lost: the promoted replica must serve the
+// acknowledged prefix byte-exact and must NOT have the in-flight row in
+// any form — absent entirely, never torn or half-applied.
+func TestCrashMidShip(t *testing.T) {
+	plan := rpc.NewFaultPlan()
+	p := faultPlane(t, plan)
+	place := dht.NewPlacement(2)
+	kStable := keyOn(place, 0, "midship", 0)
+	kTorn := keyOn(place, 0, "midship", 1)
+
+	if err := p.shards[0].feed.Put("dc_data", kStable, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	// From here the link drops everything: the next Apply never arrives.
+	base := dropFrom(plan, 512)
+	if err := p.shards[0].feed.Put("dc_data", kTorn, []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	// The shipper must have attempted (and lost) at least one frame before
+	// the crash, or the test degenerates to a plain kill.
+	waitFor(t, "dropped ship attempt", func() bool { return plan.Frames() > base })
+	p.kill(0)
+
+	if err := p.shards[1].node.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := p.shards[1].feed.Get("dc_data", kStable); err != nil || !ok || string(v) != "stable" {
+		t.Fatalf("acknowledged row %s = %q %v %v after promotion", kStable, v, ok, err)
+	}
+	if v, ok, _ := p.shards[1].feed.Get("dc_data", kTorn); ok {
+		t.Fatalf("in-flight row %s = %q survived on the promoted replica — it was never acknowledged", kTorn, v)
+	}
+}
+
+// TestCrashDuplicatedShip delivers Apply frames twice (the dup fault: the
+// replica executes the same batch twice back to back), then kills the
+// primary: seq-dedup on the replica must have applied each mutation
+// exactly once, so the promoted state shows the LAST write of each key and
+// deleted keys stay deleted — a replayed stale batch would resurrect them.
+func TestCrashDuplicatedShip(t *testing.T) {
+	plan := rpc.NewFaultPlan()
+	p := faultPlane(t, plan)
+	place := dht.NewPlacement(2)
+	kOver := keyOn(place, 0, "dupship", 0)
+	kGone := keyOn(place, 0, "dupship", 1)
+
+	if err := p.shards[0].feed.Put("dc_data", kGone, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	// Every frame for a while is delivered twice; the overwrite chain and
+	// the delete below ride duplicated frames.
+	base := plan.Frames()
+	for f := base + 1; f <= base+16; f++ {
+		plan.Set(f, rpc.Fault{Action: rpc.FaultDup})
+	}
+	if err := p.shards[0].feed.Put("dc_data", kOver, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].feed.Put("dc_data", kOver, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].feed.Delete("dc_data", kGone); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	p.kill(0)
+
+	if err := p.shards[1].node.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := p.shards[1].feed.Get("dc_data", kOver); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("overwritten row %s = %q %v %v, want final value v2", kOver, v, ok, err)
+	}
+	if v, ok, _ := p.shards[1].feed.Get("dc_data", kGone); ok {
+		t.Fatalf("deleted row %s = %q resurrected on the promoted replica", kGone, v)
+	}
+}
+
+// TestCrashShipRetryOnce drops exactly one Apply frame: the shipper's
+// redial+resend must deliver the batch exactly once (the replica dedups by
+// seq), ordering must hold across the retry, and the promoted state after
+// a later crash is the clean final state.
+func TestCrashShipRetryOnce(t *testing.T) {
+	plan := rpc.NewFaultPlan()
+	p := faultPlane(t, plan)
+	place := dht.NewPlacement(2)
+	k := keyOn(place, 0, "retryship", 0)
+
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	plan.DropFrames(plan.Frames() + 1)
+	if err := p.shards[0].feed.Put("dc_data", k, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// The drop breaks the connection; convergence proves the resend landed.
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].feed.Put("dc_data", k, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	p.kill(0)
+
+	if err := p.shards[1].node.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := p.shards[1].feed.Get("dc_data", k); err != nil || !ok || string(v) != "second" {
+		t.Fatalf("row %s = %q %v %v after retried ship + failover, want second", k, v, ok, err)
+	}
+}
+
+// TestCrashMidResync drops frames while a restarted replica is being
+// resynced from a snapshot: the Sync push retries until accepted, and a
+// primary crash after convergence promotes the full state — a replica
+// stuck half-synced would be missing the pre-restart rows.
+func TestCrashMidResync(t *testing.T) {
+	plan := rpc.NewFaultPlan()
+	p := faultPlane(t, plan)
+	place := dht.NewPlacement(2)
+	kOld := keyOn(place, 0, "resync", 0)
+	kNew := keyOn(place, 0, "resync", 1)
+
+	if err := p.shards[0].feed.Put("dc_data", kOld, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	p.kill(1)
+	if err := p.shards[0].feed.Put("dc_data", kNew, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// The next frames — the NeedSync discovery and the snapshot push to the
+	// restarted replica — are lost a few times before the link heals.
+	dropFrom(plan, 3)
+	p.restart(1)
+	if err := p.shards[0].node.WaitReplicated(testWait); err != nil {
+		t.Fatal(err)
+	}
+	p.kill(0)
+
+	if err := p.shards[1].node.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{kOld: "old", kNew: "new"} {
+		if v, ok, err := p.shards[1].feed.Get("dc_data", k); err != nil || !ok || string(v) != want {
+			t.Fatalf("row %s = %q %v %v after faulted resync + failover, want %q", k, v, ok, err, want)
+		}
+	}
+}

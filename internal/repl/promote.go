@@ -1,0 +1,312 @@
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"bitdew/internal/db"
+)
+
+// Promotion and boot-time ownership resolution.
+//
+// Ownership is ordered by claim epochs (TableOwner rows, shipped in every
+// stream like ordinary rows): whoever adopts a range writes a claim strictly
+// higher than every claim it can see, so "who owned this range most
+// recently" is answerable from any replica namespace, across arbitrary
+// kill/promote/restart interleavings. Promotion itself is guarded twice:
+// a live earlier candidate always wins (the probe pass), and a promotion
+// in flight is visible to probers as Promoting, which they treat as
+// unresolved and wait out rather than assuming either outcome.
+
+// bootProbePasses bounds how long a booting shard waits for an in-flight
+// promotion of one of its ranges to resolve (passes x bootProbeDelay).
+const bootProbePasses = 50
+
+// Promote makes this shard the owner of rangeID, if every earlier candidate
+// in the range's replica set is dead. It is called remotely (by the
+// client-side failover router, or by a peer's boot check) and locally.
+// A no-op when the range is already served here.
+func (n *Node) Promote(rangeID int) error {
+	cands := n.successors(rangeID)
+	pos := -1
+	for i, c := range cands {
+		if c == n.cfg.Shard {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("repl: shard %d is not in range %d's replica set %v", n.cfg.Shard, rangeID, cands)
+	}
+	n.mu.Lock()
+	if _, ok := n.serving[rangeID]; ok {
+		n.mu.Unlock()
+		return nil
+	}
+	if n.promoting[rangeID] {
+		n.mu.Unlock()
+		return fmt.Errorf("repl: promotion of range %d already in flight on shard %d", rangeID, n.cfg.Shard)
+	}
+	n.promoting[rangeID] = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.promoting, rangeID)
+		n.mu.Unlock()
+	}()
+
+	// Split-brain guard: any earlier candidate that answers at all — serving,
+	// promoting, or merely alive — outranks us. Probes run outside n.mu.
+	for _, c := range cands[:pos] {
+		rep, err := n.probeOwner(n.cfg.Addrs[c], rangeID)
+		if err != nil {
+			continue // dead for this pass
+		}
+		return fmt.Errorf("repl: refusing to promote range %d on shard %d: earlier candidate shard %d is alive (serving=%v promoting=%v)",
+			rangeID, n.cfg.Shard, rep.Shard, rep.Serving, rep.Promoting)
+	}
+	return n.commitPromotion(rangeID)
+}
+
+// commitPromotion adopts rangeID: pick the newest claim visible here, copy
+// that stream's rows for the range into the live store (re-feeding them, so
+// they ship onward to our own replicas), rebuild scheduler state, bump the
+// claim, and open the gate.
+func (n *Node) commitPromotion(rangeID int) error {
+	src, claim := n.bestClaim(rangeID)
+	adopted := 0
+	if src >= 0 {
+		for _, tbl := range n.cfg.GatedTables {
+			rows, err := n.claimRows(src, tbl, rangeID)
+			if err != nil {
+				return err
+			}
+			keys := make([]string, 0, len(rows))
+			for k := range rows {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if err := n.cfg.Feed.Put(tbl, k, rows[k]); err != nil {
+					return fmt.Errorf("repl: promote range %d: adopting %s/%s: %w", rangeID, tbl, k, err)
+				}
+				if tbl == n.cfg.ContentTable {
+					n.pull.enqueue(k)
+				}
+				adopted++
+			}
+		}
+		if n.cfg.SchedulerTable != "" && n.cfg.AdoptScheduler != nil {
+			rows, err := n.claimRows(src, n.cfg.SchedulerTable, rangeID)
+			if err != nil {
+				return err
+			}
+			if len(rows) > 0 {
+				if err := n.cfg.AdoptScheduler(rows); err != nil {
+					return fmt.Errorf("repl: promote range %d: adopting scheduler rows: %w", rangeID, err)
+				}
+				adopted += len(rows)
+			}
+		}
+	}
+	if err := n.cfg.Feed.Put(TableOwner, ownerKey(rangeID), encodeClaim(claim+1)); err != nil {
+		return fmt.Errorf("repl: promote range %d: writing claim: %w", rangeID, err)
+	}
+	n.mu.Lock()
+	n.serving[rangeID] = claim + 1
+	// The adopted range's surviving candidates must now receive OUR stream:
+	// they are the next line of defence for the range, and (when the dead
+	// primary returns) the retrying shipper doubles as its rejoin catch-up.
+	for _, c := range n.successors(rangeID) {
+		if c != n.cfg.Shard {
+			n.startShipperLocked(n.cfg.Addrs[c])
+		}
+	}
+	n.mu.Unlock()
+	n.logf("repl: shard %d promoted to owner of range %d (claim %d, %d rows adopted from %s)",
+		n.cfg.Shard, rangeID, claim+1, adopted, claimSource(src))
+	return nil
+}
+
+func claimSource(src int) string {
+	if src < 0 {
+		return "own live store"
+	}
+	return "stream of shard " + strconv.Itoa(src)
+}
+
+// bestClaim picks the stream holding the newest ownership claim on rangeID
+// visible at this shard: our own live store (src -1) or any replica
+// namespace. Higher claim epoch wins; our own store wins ties, so a shard
+// that was itself the last owner adopts from its own (freshest) rows.
+func (n *Node) bestClaim(rangeID int) (src int, epoch uint64) {
+	src = -1
+	if v, ok, _ := n.cfg.Feed.Get(TableOwner, ownerKey(rangeID)); ok {
+		epoch = decodeClaim(v)
+	}
+	n.mu.Lock()
+	sources := make([]int, 0, len(n.replicas))
+	for s := range n.replicas {
+		sources = append(sources, s)
+	}
+	n.mu.Unlock()
+	sort.Ints(sources) // deterministic tie-break across equal remote claims
+	for _, s := range sources {
+		v, ok, err := n.rstore.Get(nsTable(s, TableOwner), ownerKey(rangeID))
+		if err != nil || !ok {
+			continue
+		}
+		if e := decodeClaim(v); e > epoch || (src == -1 && epoch == 0 && e == 0) {
+			// A remote claim-0 beats NO local claim (epoch 0 with no row):
+			// the original owner's replicated rows are better than nothing.
+			if _, hasLocal, _ := n.cfg.Feed.Get(TableOwner, ownerKey(rangeID)); e > epoch || !hasLocal {
+				src, epoch = s, e
+			}
+		}
+	}
+	return src, epoch
+}
+
+// claimRows collects rangeID's rows of one table from a stream: src -1
+// reads the live store, otherwise the source's replica namespace. Only keys
+// homing on rangeID qualify — a stream carries its shard's whole state,
+// which after promotions can span several ranges.
+func (n *Node) claimRows(src int, table string, rangeID int) (map[string][]byte, error) {
+	store, tbl := db.Store(n.cfg.Feed), table
+	if src >= 0 {
+		store, tbl = n.rstore, nsTable(src, table)
+	}
+	rows := make(map[string][]byte)
+	err := store.Scan(tbl, func(k string, v []byte) bool {
+		if n.place.ShardOf(k) == rangeID {
+			rows[k] = append([]byte(nil), v...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repl: collecting %s rows of range %d: %w", table, rangeID, err)
+	}
+	return rows, nil
+}
+
+// claimedRanges lists every range this shard's live store holds an
+// ownership claim for, plus its own home range.
+func (n *Node) claimedRanges() []int {
+	ranges := []int{n.cfg.Shard}
+	seen := map[int]bool{n.cfg.Shard: true}
+	_ = n.cfg.Feed.Scan(TableOwner, func(k string, _ []byte) bool {
+		if r, err := strconv.Atoi(k); err == nil && !seen[r] && r >= 0 && r < len(n.cfg.Addrs) {
+			seen[r] = true
+			ranges = append(ranges, r)
+		}
+		return true
+	})
+	sort.Ints(ranges)
+	return ranges
+}
+
+// bootCheck resolves ownership of every range this shard has a stake in
+// BEFORE the rpc server answers: for each, if a peer candidate is serving
+// it we stand down (and, for our home range, rejoin its owner as a
+// replica); if a promotion is in flight we wait for it to resolve; if
+// nobody has it, we adopt it with a bumped claim. The ordering — resolve
+// first, serve after — is what makes a restart split-brain-free: no client
+// or peer can observe this shard alive while its ownership is undecided.
+func (n *Node) bootCheck() {
+	for _, r := range n.claimedRanges() {
+		n.bootResolveRange(r)
+	}
+}
+
+func (n *Node) bootResolveRange(rangeID int) {
+	cands := n.successors(rangeID)
+	for pass := 0; pass < bootProbePasses; pass++ {
+		ownerAddr := ""
+		promoting := false
+		for _, c := range cands {
+			if c == n.cfg.Shard {
+				continue
+			}
+			rep, err := n.probeOwner(n.cfg.Addrs[c], rangeID)
+			if err != nil {
+				continue
+			}
+			if rep.Serving {
+				ownerAddr = n.cfg.Addrs[c]
+				break
+			}
+			if rep.Promoting {
+				promoting = true
+			}
+		}
+		switch {
+		case ownerAddr != "":
+			n.logf("repl: shard %d range %d is owned by %s; standing down", n.cfg.Shard, rangeID, ownerAddr)
+			if rangeID == n.cfg.Shard {
+				n.rejoinOwner(ownerAddr)
+			}
+			return
+		case promoting:
+			// An in-flight promotion will land Serving or die; wait it out.
+			if !n.sleepStop(100 * time.Millisecond) {
+				return
+			}
+		default:
+			n.adopt(rangeID, true)
+			return
+		}
+	}
+	// The promotion never resolved (its shard died mid-flight): take over.
+	n.adopt(rangeID, true)
+}
+
+// rejoinOwner registers us as an extra ship target of our range's current
+// owner. Best-effort: the owner's own retrying shipper (started at its
+// promotion) reaches us anyway; this just shortens the catch-up.
+func (n *Node) rejoinOwner(ownerAddr string) {
+	for i := 0; i < 5; i++ {
+		if err := n.callRejoin(ownerAddr); err == nil {
+			return
+		}
+		if !n.sleepStop(200 * time.Millisecond) {
+			return
+		}
+	}
+	n.logf("repl: shard %d could not rejoin owner %s; waiting for its shipper", n.cfg.Shard, ownerAddr)
+}
+
+// adoptOwnRange is the fresh-boot fast path (SkipBootCheck): the whole
+// plane is starting together, so nobody can have promoted anything — each
+// shard takes its home range, keeping any claim recovered from disk.
+func (n *Node) adoptOwnRange() {
+	n.adopt(n.cfg.Shard, false)
+}
+
+// adopt marks rangeID served here. bump writes a claim strictly above our
+// stored one — required on restart readoption, where a peer may have owned
+// the range while we were down and died before we returned: without the
+// bump, its (unreachable) higher claim would outrank our live one at the
+// next promotion and resurrect staler rows.
+func (n *Node) adopt(rangeID int, bump bool) {
+	var claim uint64
+	if v, ok, _ := n.cfg.Feed.Get(TableOwner, ownerKey(rangeID)); ok {
+		claim = decodeClaim(v)
+		if bump {
+			claim++
+		}
+	}
+	if err := n.cfg.Feed.Put(TableOwner, ownerKey(rangeID), encodeClaim(claim)); err != nil {
+		n.logf("repl: shard %d adopting range %d: writing claim: %v", n.cfg.Shard, rangeID, err)
+	}
+	n.mu.Lock()
+	n.serving[rangeID] = claim
+	for _, c := range n.successors(rangeID) {
+		if c != n.cfg.Shard {
+			n.startShipperLocked(n.cfg.Addrs[c])
+		}
+	}
+	n.mu.Unlock()
+	n.logf("repl: shard %d serving range %d (claim %d)", n.cfg.Shard, rangeID, claim)
+}

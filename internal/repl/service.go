@@ -1,0 +1,298 @@
+package repl
+
+import (
+	"fmt"
+
+	"bitdew/internal/db"
+	"bitdew/internal/rpc"
+)
+
+// Wire types of the replication protocol. All fields are concrete (splice-
+// safe); mutation batches ride the same db.Mutation records the feed emits.
+
+// PingArgs/PingReply probe liveness; a shard answers the moment its rpc
+// server is up, which is exactly the instant the split-brain ordering
+// argument needs (a shard that answers Ping has already resolved who owns
+// its range).
+type PingArgs struct{}
+type PingReply struct {
+	Shard int
+	Epoch uint64
+}
+
+// ApplyArgs ships a batch of tail mutations of one source shard's stream.
+// An empty Muts slice is a heartbeat: the reply reports the replica's
+// current ack state without changing anything.
+type ApplyArgs struct {
+	Shard int    // source shard (whose stream this is)
+	Epoch uint64 // source stream epoch
+	Muts  []db.Mutation
+}
+
+// ApplyReply acks the highest contiguously-applied sequence number.
+// NeedSync asks the shipper to restart from a snapshot: the replica has
+// never synced, saw a different epoch (source rebooted), or detected a gap.
+type ApplyReply struct {
+	AckSeq         uint64
+	NeedSync       bool
+	PendingContent int // content pulls not yet completed on this replica
+}
+
+// SyncArgs replaces the replica's whole namespace for the source shard
+// with a snapshot cut at sequence number Seq.
+type SyncArgs struct {
+	Shard    int
+	Epoch    uint64
+	Seq      uint64
+	Snapshot []db.Mutation
+}
+
+type SyncReply struct {
+	AckSeq         uint64
+	PendingContent int
+}
+
+// OwnerArgs/OwnerReply answer "who owns this range": Serving means this
+// shard does; Promoting means a promotion of that range is in flight here
+// (callers must wait for it to resolve rather than assume either outcome).
+type OwnerArgs struct{ Range int }
+type OwnerReply struct {
+	Shard      int
+	Serving    bool
+	Promoting  bool
+	OwnerEpoch uint64
+}
+
+// PromoteArgs asks this shard to take ownership of a range whose earlier
+// candidates are dead.
+type PromoteArgs struct{ Range int }
+type PromoteReply struct{ Promoted bool }
+
+// RejoinArgs registers a recovered shard as an extra ship target of this
+// shard's stream, so it catches up and can be promoted later.
+type RejoinArgs struct{ Addr string }
+type RejoinReply struct{ Accepted bool }
+
+// FetchContentArgs pulls one datum's content bytes.
+type FetchContentArgs struct{ UID string }
+type FetchContentReply struct {
+	Found   bool
+	Content []byte
+}
+
+// StatusArgs/StatusReply expose the node's replication state (CLI `bitdew
+// repl`, tests, convergence waits).
+type StatusArgs struct{}
+type StatusReply struct {
+	Shard          int
+	Epoch          uint64
+	Seq            uint64         // last sequence number fed locally
+	Serving        map[int]uint64 // owned ranges -> ownership epoch
+	Replicas       map[int]ReplicaStatus
+	Targets        []TargetStatus
+	PendingContent int
+}
+
+type ReplicaStatus struct {
+	Epoch  uint64
+	AckSeq uint64
+	Synced bool
+}
+
+type TargetStatus struct {
+	Addr           string
+	Acked          uint64
+	Synced         bool
+	PendingContent int
+}
+
+// Mount registers the replication protocol on the shard's Mux.
+func (n *Node) Mount(m *rpc.Mux) {
+	rpc.Register(m, ServiceName, "Ping", func(PingArgs) (PingReply, error) {
+		return PingReply{Shard: n.cfg.Shard, Epoch: n.Epoch()}, nil
+	})
+	rpc.Register(m, ServiceName, "Apply", n.handleApply)
+	rpc.Register(m, ServiceName, "Sync", n.handleSync)
+	rpc.Register(m, ServiceName, "Owner", n.handleOwner)
+	rpc.Register(m, ServiceName, "Promote", n.handlePromote)
+	rpc.Register(m, ServiceName, "Rejoin", n.handleRejoin)
+	rpc.Register(m, ServiceName, "FetchContent", n.handleFetchContent)
+	rpc.Register(m, ServiceName, "Status", n.handleStatus)
+}
+
+// handleApply applies a tail batch to the source's replica namespace.
+// Duplicates (Seq <= last applied) are dropped — re-sending a possibly-
+// delivered batch after an ambiguous failure is safe by design, which is
+// why the shipper may retry Apply even after rpc.ErrDeadline. A gap means
+// mutations were lost between shipper and replica; the replica refuses the
+// whole suffix and asks for a snapshot instead of applying out of order.
+func (n *Node) handleApply(a ApplyArgs) (ApplyReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.replicas[a.Shard]
+	if st == nil || !st.synced || st.epoch != a.Epoch {
+		var ack uint64
+		if st != nil {
+			ack = st.last
+		}
+		return ApplyReply{AckSeq: ack, NeedSync: true, PendingContent: n.pull.pending()}, nil
+	}
+	for _, m := range a.Muts {
+		if m.Seq <= st.last {
+			continue // duplicate delivery
+		}
+		if m.Seq != st.last+1 {
+			return ApplyReply{AckSeq: st.last, NeedSync: true, PendingContent: n.pull.pending()}, nil
+		}
+		if err := n.applyOneLocked(a.Shard, st, m); err != nil {
+			return ApplyReply{AckSeq: st.last}, err
+		}
+		st.last = m.Seq
+	}
+	return ApplyReply{AckSeq: st.last, PendingContent: n.pull.pending()}, nil
+}
+
+// applyOneLocked writes one mutation into the source's namespace and
+// schedules a content pull when it announces committed content.
+func (n *Node) applyOneLocked(src int, st *replicaState, m db.Mutation) error {
+	tbl := nsTable(src, m.Table)
+	st.tables[m.Table] = true
+	switch m.Op {
+	case 'P':
+		if err := n.rstore.Put(tbl, m.Key, m.Value); err != nil {
+			return fmt.Errorf("repl: apply: %w", err)
+		}
+		if m.Table == n.cfg.ContentTable {
+			n.pull.enqueue(m.Key)
+		}
+	case 'D':
+		if err := n.rstore.Delete(tbl, m.Key); err != nil {
+			return fmt.Errorf("repl: apply: %w", err)
+		}
+	default:
+		return fmt.Errorf("repl: apply: unknown op %q", m.Op)
+	}
+	return nil
+}
+
+// handleSync replaces the source's namespace wholesale with the snapshot.
+func (n *Node) handleSync(a SyncArgs) (SyncReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	old := n.replicas[a.Shard]
+	if old != nil {
+		for tbl := range old.tables {
+			keys, err := n.rstore.Keys(nsTable(a.Shard, tbl))
+			if err != nil {
+				return SyncReply{}, fmt.Errorf("repl: sync: %w", err)
+			}
+			for _, k := range keys {
+				if err := n.rstore.Delete(nsTable(a.Shard, tbl), k); err != nil {
+					return SyncReply{}, fmt.Errorf("repl: sync: %w", err)
+				}
+			}
+		}
+	}
+	st := &replicaState{epoch: a.Epoch, last: a.Seq, synced: true, tables: make(map[string]bool)}
+	n.replicas[a.Shard] = st
+	for _, m := range a.Snapshot {
+		if err := n.applyOneLocked(a.Shard, st, m); err != nil {
+			st.synced = false
+			return SyncReply{}, err
+		}
+	}
+	n.logf("repl: shard %d synced stream of shard %d at epoch %d seq %d (%d rows)",
+		n.cfg.Shard, a.Shard, a.Epoch, a.Seq, len(a.Snapshot))
+	return SyncReply{AckSeq: st.last, PendingContent: n.pull.pending()}, nil
+}
+
+func (n *Node) handleOwner(a OwnerArgs) (OwnerReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	epoch, serving := n.serving[a.Range]
+	return OwnerReply{
+		Shard:      n.cfg.Shard,
+		Serving:    serving,
+		Promoting:  n.promoting[a.Range],
+		OwnerEpoch: epoch,
+	}, nil
+}
+
+func (n *Node) handlePromote(a PromoteArgs) (PromoteReply, error) {
+	if err := n.Promote(a.Range); err != nil {
+		return PromoteReply{}, err
+	}
+	return PromoteReply{Promoted: true}, nil
+}
+
+func (n *Node) handleRejoin(a RejoinArgs) (RejoinReply, error) {
+	if a.Addr == "" || a.Addr == n.cfg.Addrs[n.cfg.Shard] {
+		return RejoinReply{}, fmt.Errorf("repl: rejoin: bad address %q", a.Addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return RejoinReply{}, fmt.Errorf("repl: rejoin: node stopped")
+	}
+	n.startShipperLocked(a.Addr)
+	return RejoinReply{Accepted: true}, nil
+}
+
+func (n *Node) handleFetchContent(a FetchContentArgs) (FetchContentReply, error) {
+	if n.cfg.GetContent == nil {
+		return FetchContentReply{}, nil
+	}
+	content, err := n.cfg.GetContent(a.UID)
+	if err != nil {
+		return FetchContentReply{}, nil // absent content is not an error: the puller falls back
+	}
+	return FetchContentReply{Found: true, Content: content}, nil
+}
+
+func (n *Node) handleStatus(StatusArgs) (StatusReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rep := StatusReply{
+		Shard:          n.cfg.Shard,
+		Epoch:          n.Epoch(),
+		Seq:            n.cfg.Feed.Seq(),
+		Serving:        make(map[int]uint64, len(n.serving)),
+		Replicas:       make(map[int]ReplicaStatus, len(n.replicas)),
+		PendingContent: n.pull.pending(),
+	}
+	for r, e := range n.serving {
+		rep.Serving[r] = e
+	}
+	for src, st := range n.replicas {
+		rep.Replicas[src] = ReplicaStatus{Epoch: st.epoch, AckSeq: st.last, Synced: st.synced}
+	}
+	for _, s := range n.shippers {
+		acked, synced, pending := s.state()
+		rep.Targets = append(rep.Targets, TargetStatus{Addr: s.target, Acked: acked, Synced: synced, PendingContent: pending})
+	}
+	return rep, nil
+}
+
+// probeOwner asks the shard at addr who owns rangeID, on a fresh bounded
+// connection. Any error means "treat as dead for this pass".
+func (n *Node) probeOwner(addr string, rangeID int) (OwnerReply, error) {
+	c, err := rpc.Dial(addr, n.dialOpts(addr, n.probeTimeout)...)
+	if err != nil {
+		return OwnerReply{}, err
+	}
+	defer c.Close()
+	var rep OwnerReply
+	err = c.Call(ServiceName, "Owner", OwnerArgs{Range: rangeID}, &rep)
+	return rep, err
+}
+
+// callRejoin asks the owner at addr to add us as an extra ship target.
+func (n *Node) callRejoin(addr string) error {
+	c, err := rpc.Dial(addr, n.dialOpts(addr, n.probeTimeout)...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var rep RejoinReply
+	return c.Call(ServiceName, "Rejoin", RejoinArgs{Addr: n.cfg.Addrs[n.cfg.Shard]}, &rep)
+}

@@ -1,0 +1,381 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bitdew/internal/db"
+	"bitdew/internal/rpc"
+)
+
+const (
+	// shipBatchMax bounds mutations per Apply frame; the shipper drains the
+	// feed opportunistically up to it, so a bursty primary ships large
+	// batches and an idle one ships singles with no added latency.
+	shipBatchMax = 256
+	// shipBuffer is the feed subscription depth; a replica that falls this
+	// far behind is cut loose (db.ErrFeedLost) and resynced from a snapshot
+	// rather than stalling the primary's write path.
+	shipBuffer = 8192
+	// shipCallTimeout bounds each Apply/Sync round trip. Snapshots can be
+	// large, so this is generous; the stop channel still bounds shutdown.
+	shipCallTimeout = 30 * time.Second
+
+	shipBackoff    = 50 * time.Millisecond
+	shipBackoffMax = 2 * time.Second
+)
+
+// shipper streams this shard's feed to one replica: snapshot first, then
+// the tail in batches, tracking the replica's acked sequence number. It
+// survives replica restarts (NeedSync → fresh snapshot) and outlives
+// transport failures (the lazy reconnecting client plus its own stop-gated
+// retry loop), so a successor that is down simply catches up when it
+// returns.
+type shipper struct {
+	n      *Node
+	target string
+	client rpc.Client
+	poke   chan struct{} // WaitReplicated heartbeat requests
+
+	mu      sync.Mutex
+	acked   uint64
+	synced  bool
+	pending int // replica's reported outstanding content pulls
+}
+
+// startShipperLocked registers and starts a shipper to addr (idempotent;
+// never to ourselves). Caller holds n.mu.
+func (n *Node) startShipperLocked(addr string) {
+	if addr == n.cfg.Addrs[n.cfg.Shard] {
+		return
+	}
+	if _, ok := n.shippers[addr]; ok {
+		return
+	}
+	s := &shipper{
+		n:      n,
+		target: addr,
+		client: rpc.DialAutoLazy(addr, n.dialOpts(addr, shipCallTimeout)...),
+		poke:   make(chan struct{}, 1),
+	}
+	n.shippers[addr] = s
+	n.wg.Add(1)
+	go s.run()
+}
+
+func (s *shipper) state() (acked uint64, synced bool, pendingContent int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked, s.synced, s.pending
+}
+
+func (s *shipper) record(ack uint64, pendingContent int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acked = ack
+	s.pending = pendingContent
+}
+
+func (s *shipper) setSynced(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.synced = v
+}
+
+// run is the ship cycle: cut an atomic snapshot+subscription, push the
+// snapshot until the replica acknowledges it, then stream the tail. Any
+// NeedSync, epoch drift or lost subscription restarts the cycle.
+func (s *shipper) run() {
+	defer s.n.wg.Done()
+	defer s.client.Close()
+	for {
+		select {
+		case <-s.n.stop:
+			return
+		default:
+		}
+		seq, snap, feed, err := s.n.cfg.Feed.SnapshotAndFollow(shipBuffer)
+		if err != nil {
+			return // store closed: the container is shutting down
+		}
+		s.setSynced(false)
+		if !s.pushSnapshot(seq, snap) {
+			return
+		}
+		s.setSynced(true)
+		s.n.logf("repl: shard %d shipped snapshot seq %d (%d rows) to %s", s.n.cfg.Shard, seq, len(snap), s.target)
+		if !s.stream(feed) {
+			return
+		}
+		// Resync requested: drop the stale subscription and start over.
+	}
+}
+
+// pushSnapshot sends the Sync frame until the replica accepts it; false
+// means the node stopped.
+func (s *shipper) pushSnapshot(seq uint64, snap []db.Mutation) bool {
+	args := SyncArgs{Shard: s.n.cfg.Shard, Epoch: s.n.Epoch(), Seq: seq, Snapshot: snap}
+	backoff := shipBackoff
+	for {
+		var rep SyncReply
+		//vet:ignore deadlineprop retry-forever is the shipper's contract (a down replica catches up when it returns); every iteration passes through n.sleepStop, which selects on n.stop — shutdown, not a deadline, bounds this loop
+		err := s.client.Call(ServiceName, "Sync", args, &rep)
+		if err == nil {
+			s.record(rep.AckSeq, rep.PendingContent)
+			return true
+		}
+		// Sync is idempotent (it replaces the namespace wholesale), so
+		// resending after any failure — including rpc.ErrDeadline's
+		// possibly-delivered case — is safe.
+		if !s.n.sleepStop(backoff) {
+			return false
+		}
+		if backoff *= 2; backoff > shipBackoffMax {
+			backoff = shipBackoffMax
+		}
+	}
+}
+
+// stream ships tail mutations as they arrive. It returns true when the
+// replica asked for a resync (or the subscription overflowed) and false
+// when the node is stopping or the store closed.
+func (s *shipper) stream(feed *db.Feed) (resync bool) {
+	var pending []db.Mutation
+	for {
+		select {
+		case <-s.n.stop:
+			return false
+		case <-s.poke:
+			// Heartbeat: an empty Apply refreshes the replica's ack and
+			// pending-content report without shipping anything.
+			rep, ok := s.applyBatch(nil)
+			if !ok {
+				return false
+			}
+			if rep.NeedSync {
+				return true
+			}
+		case m, ok := <-feed.C():
+			if !ok {
+				return feed.Err() == db.ErrFeedLost
+			}
+			pending = append(pending, m)
+			closed := false
+			for !closed && len(pending) < shipBatchMax {
+				select {
+				case m2, ok2 := <-feed.C():
+					if !ok2 {
+						closed = true
+					} else {
+						pending = append(pending, m2)
+					}
+				default:
+					closed = true // nothing more buffered; ship what we have
+					goto send
+				}
+			}
+		send:
+			rep, ok2 := s.applyBatch(pending)
+			if !ok2 {
+				return false
+			}
+			if rep.NeedSync {
+				return true
+			}
+			pending = pending[:0]
+		}
+	}
+}
+
+// applyBatch sends one Apply frame until it is answered; false means the
+// node stopped. Apply is sequence-numbered and duplicate-tolerant on the
+// replica, so retrying after ANY failure — transport or deadline — can
+// never double-apply; this is the designed exception to the plane's
+// never-replay-a-possibly-executed-call rule.
+func (s *shipper) applyBatch(muts []db.Mutation) (ApplyReply, bool) {
+	args := ApplyArgs{Shard: s.n.cfg.Shard, Epoch: s.n.Epoch(), Muts: muts}
+	backoff := shipBackoff
+	for {
+		var rep ApplyReply
+		//vet:ignore deadlineprop retry-forever is the shipper's contract (a down replica catches up when it returns); every iteration passes through n.sleepStop, which selects on n.stop — shutdown, not a deadline, bounds this loop
+		err := s.client.Call(ServiceName, "Apply", args, &rep)
+		if err == nil {
+			s.record(rep.AckSeq, rep.PendingContent)
+			return rep, true
+		}
+		if !s.n.sleepStop(backoff) {
+			return ApplyReply{}, false
+		}
+		if backoff *= 2; backoff > shipBackoffMax {
+			backoff = shipBackoffMax
+		}
+	}
+}
+
+// WaitReplicated blocks until every ship target has acknowledged the
+// feed's current sequence number and reports no outstanding content pulls,
+// or the deadline passes. Idle shippers are poked to heartbeat so a
+// replica's pull progress becomes visible without new writes.
+func (n *Node) WaitReplicated(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		seq := n.cfg.Feed.Seq()
+		n.mu.Lock()
+		shippers := make([]*shipper, 0, len(n.shippers))
+		for _, s := range n.shippers {
+			shippers = append(shippers, s)
+		}
+		n.mu.Unlock()
+		lagging := 0
+		for _, s := range shippers {
+			acked, synced, pendingContent := s.state()
+			if !synced || acked < seq || pendingContent > 0 {
+				lagging++
+				select {
+				case s.poke <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if lagging == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: shard %d: %d of %d targets lagging after %v (feed seq %d)",
+				n.cfg.Shard, lagging, len(shippers), timeout, seq)
+		}
+		if !n.sleepStop(10 * time.Millisecond) {
+			return fmt.Errorf("repl: node stopped while waiting for replication")
+		}
+	}
+}
+
+// puller fetches content for locator rows the replica streams in, storing
+// it in this shard's own backend so a promoted shard serves bytes, not just
+// metadata, from the first request. Pulls are pull-based and idempotent:
+// already-present content is skipped, failed pulls are retried from every
+// member of the datum's replica set.
+type puller struct {
+	n    *Node
+	kick chan struct{}
+
+	mu       sync.Mutex
+	queue    []string
+	queued   map[string]bool
+	inflight int
+}
+
+func newPuller(n *Node) *puller {
+	return &puller{n: n, kick: make(chan struct{}, 1), queued: make(map[string]bool)}
+}
+
+// enqueue schedules a pull of uid's content (no-op when already queued).
+// The present-content check happens in the pull loop, NOT here: enqueue is
+// called with n.mu held and the backend probe is real I/O on dir backends.
+func (p *puller) enqueue(uid string) {
+	p.mu.Lock()
+	if !p.queued[uid] {
+		p.queued[uid] = true
+		p.queue = append(p.queue, uid)
+	}
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pending counts queued plus in-flight pulls.
+func (p *puller) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) + p.inflight
+}
+
+func (p *puller) pop() (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return "", false
+	}
+	uid := p.queue[0]
+	p.queue = p.queue[1:]
+	p.inflight++
+	return uid, true
+}
+
+// finish retires an in-flight pull; failed pulls requeue for the next round.
+func (p *puller) finish(uid string, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inflight--
+	if ok {
+		delete(p.queued, uid)
+	} else {
+		p.queue = append(p.queue, uid)
+	}
+}
+
+func (p *puller) run() {
+	defer p.n.wg.Done()
+	for {
+		select {
+		case <-p.n.stop:
+			return
+		case <-p.kick:
+		}
+		for {
+			uid, ok := p.pop()
+			if !ok {
+				break
+			}
+			//vet:ignore deadlineprop the loop drains a finite queue (every iteration pops or breaks), and a round of failed pulls breaks out through n.sleepStop's stop-gated backoff — it cannot spin against dead peers
+			done := p.pullOne(uid)
+			p.finish(uid, done)
+			if !done {
+				// Every source failed (the whole replica set may be mid-
+				// failover); back off before the next round instead of
+				// spinning against dead peers.
+				if !p.n.sleepStop(200 * time.Millisecond) {
+					return
+				}
+				break
+			}
+		}
+	}
+}
+
+// pullOne fetches uid's content from any member of its range's replica
+// set. True means the content is present locally (pulled or already there).
+func (p *puller) pullOne(uid string) bool {
+	n := p.n
+	if n.cfg.HasContent != nil && n.cfg.HasContent(uid) {
+		return true
+	}
+	if n.cfg.PutContent == nil {
+		return true // container replicates metadata only
+	}
+	for _, member := range n.successors(n.place.ShardOf(uid)) {
+		if member == n.cfg.Shard {
+			continue
+		}
+		addr := n.cfg.Addrs[member]
+		c, err := rpc.Dial(addr, n.dialOpts(addr, shipCallTimeout)...)
+		if err != nil {
+			continue
+		}
+		var rep FetchContentReply
+		err = c.Call(ServiceName, "FetchContent", FetchContentArgs{UID: uid}, &rep)
+		c.Close()
+		if err != nil || !rep.Found {
+			continue
+		}
+		if err := n.cfg.PutContent(uid, rep.Content); err != nil {
+			n.logf("repl: shard %d: storing pulled content %s: %v", n.cfg.Shard, uid, err)
+			return false
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// DialAutoLazyN is the failover router's dial: a small same-address retry
+// budget so a dead shard surfaces as ErrTransport quickly instead of
+// burning the default 8-attempt backoff window. These tests pin the budget
+// (exactly n attempts, clamped to at least 1), the error class (tagged
+// ErrTransport so failover may replay), and the lazy half — the client
+// connects fine once the peer appears, even if it was down at build time.
+
+// countingDial replaces the client's dial with one that counts attempts
+// and always fails.
+func countingDial(n *atomic.Int64) func(string, ...DialOption) (Client, error) {
+	return func(addr string, opts ...DialOption) (Client, error) {
+		n.Add(1)
+		return nil, fmt.Errorf("dial %s: scripted refusal", addr)
+	}
+}
+
+func TestDialAutoLazyNAttemptBudget(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want int64
+	}{
+		{n: 2, want: 2},
+		{n: 5, want: 5},
+		{n: 0, want: 1},  // clamped: at least one attempt
+		{n: -3, want: 1}, // clamped
+	} {
+		var attempts atomic.Int64
+		c := DialAutoLazyN("127.0.0.1:0", tc.n).(*autoClient)
+		c.dial = countingDial(&attempts)
+		var rep string
+		err := c.Call("echo", "Echo", "hi", &rep)
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("n=%d: err = %v, want ErrTransport", tc.n, err)
+		}
+		if got := attempts.Load(); got != tc.want {
+			t.Fatalf("n=%d: %d dial attempts, want %d", tc.n, got, tc.want)
+		}
+		c.Close()
+	}
+}
+
+// TestDialAutoLazyNFailsFasterThanDefault pins the point of the small
+// budget: against a dead address, the N=2 client gives up after one
+// backoff step while the default budget keeps retrying — the failover
+// router relies on that gap to start probing successors quickly.
+func TestDialAutoLazyNFailsFasterThanDefault(t *testing.T) {
+	var nSmall, nDefault atomic.Int64
+	small := DialAutoLazyN("127.0.0.1:0", 2).(*autoClient)
+	small.dial = countingDial(&nSmall)
+	dflt := DialAutoLazy("127.0.0.1:0").(*autoClient)
+	dflt.dial = countingDial(&nDefault)
+	var rep string
+	if err := small.Call("echo", "Echo", "x", &rep); !errors.Is(err, ErrTransport) {
+		t.Fatalf("small: %v", err)
+	}
+	if err := dflt.Call("echo", "Echo", "x", &rep); !errors.Is(err, ErrTransport) {
+		t.Fatalf("default: %v", err)
+	}
+	small.Close()
+	dflt.Close()
+	if s, d := nSmall.Load(), nDefault.Load(); s >= d {
+		t.Fatalf("N=2 budget attempted %d dials, default attempted %d — no fast-fail gap", s, d)
+	}
+}
+
+// TestDialAutoLazyNHealsWhenPeerAppears pins the lazy half: built against
+// an address with nothing listening, the client fails with ErrTransport,
+// and the SAME client connects once a server binds the address.
+func TestDialAutoLazyNHealsWhenPeerAppears(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	c := DialAutoLazyN(addr, 2, WithCallTimeout(5*time.Second))
+	defer c.Close()
+	var rep string
+	if err := c.Call("echo", "Echo", "early", &rep); !errors.Is(err, ErrTransport) {
+		t.Fatalf("call against vacant address = %v, want ErrTransport", err)
+	}
+
+	var srv *Server
+	for attempt := 0; attempt < 50; attempt++ {
+		srv, err = Listen(addr, echoMux())
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := c.Call("echo", "Echo", "healed", &rep); err != nil || rep != "healed" {
+		t.Fatalf("call after peer appeared = %q, %v", rep, err)
+	}
+}

@@ -29,6 +29,8 @@ var errAutoClosed = errors.New("rpc: client closed")
 type autoClient struct {
 	addr string
 	opts []DialOption
+	// attempts overrides reconnectAttempts when > 0 (DialAutoLazyN).
+	attempts int
 	// dial replaces Dial in tests (deterministic slow/failing dials); nil
 	// means Dial. Immutable after construction, like addr and opts.
 	dial func(addr string, opts ...DialOption) (Client, error)
@@ -63,6 +65,19 @@ func DialAuto(addr string, opts ...DialOption) (Client, error) {
 // on restart.
 func DialAutoLazy(addr string, opts ...DialOption) Client {
 	return &autoClient{addr: addr, opts: opts}
+}
+
+// DialAutoLazyN is DialAutoLazy with a custom transport-retry budget:
+// calls give up after n same-address attempts instead of the default 8.
+// The failover router uses a small budget so a dead shard surfaces as
+// ErrTransport in tens of milliseconds — fast enough to probe the range's
+// successor shards — instead of burning the full same-address backoff
+// window on an address that will not come back before the failover.
+func DialAutoLazyN(addr string, n int, opts ...DialOption) Client {
+	if n < 1 {
+		n = 1
+	}
+	return &autoClient{addr: addr, opts: opts, attempts: n}
 }
 
 // current returns the live connection, dialling a new one if the previous
@@ -123,8 +138,12 @@ func (a *autoClient) invalidate(c Client) {
 // exec runs fn against the current connection, redialling and retrying on
 // transport failure.
 func (a *autoClient) exec(fn func(Client) error) error {
+	attempts := a.attempts
+	if attempts == 0 {
+		attempts = reconnectAttempts
+	}
 	var lastErr error
-	for attempt := 0; attempt < reconnectAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			d := reconnectBackoff << (attempt - 1)
 			if d > reconnectBackoffMax {

@@ -9,6 +9,7 @@ package runtime
 
 import (
 	"fmt"
+	"net"
 	"path/filepath"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"bitdew/internal/protocols/ftp"
 	"bitdew/internal/protocols/httpx"
 	"bitdew/internal/protocols/swarm"
+	"bitdew/internal/repl"
 	"bitdew/internal/repository"
 	"bitdew/internal/rpc"
 	"bitdew/internal/scheduler"
@@ -57,6 +59,37 @@ type ContainerConfig struct {
 	// limits); benchmarks use them to model a service host of finite
 	// capacity from one machine.
 	RPCOptions []rpc.ServerOption
+	// Listener, when set, serves rpc on this pre-bound listener instead of
+	// Addr. A replicated plane pre-listens every shard so the full
+	// membership table exists before the first container boots.
+	Listener net.Listener
+	// Replication, when set with Replicas >= 2, wires this container into
+	// the shard-replication plane: its meta store is feed-wrapped and
+	// shipped to its successor shards, the ownership gate guards its key
+	// ranges, and the repl service (failover, rejoin) is mounted.
+	Replication *ReplicationConfig
+}
+
+// ReplicationConfig is the per-shard replication wiring of a container.
+type ReplicationConfig struct {
+	// Shard is this container's index in Addrs; Addrs is the full
+	// membership table in placement order.
+	Shard int
+	Addrs []string
+	// Replicas is R: each key range lives on its home shard plus R-1
+	// successors on the placement circle.
+	Replicas int
+	// ProbeTimeout bounds each failover liveness probe (0 = default).
+	ProbeTimeout time.Duration
+	// SkipBootCheck may be set only on a coordinated fresh boot of the
+	// whole plane (nobody can have promoted anything yet); restarts must
+	// always resolve ownership by probing.
+	SkipBootCheck bool
+	// DialOpts contributes extra dial options per outbound peer address —
+	// the fault-injection hook of the failover crash-point tests.
+	DialOpts func(addr string) []rpc.DialOption
+	// Logf receives replication life-cycle events.
+	Logf func(format string, args ...any)
 }
 
 // Container is one stable service host.
@@ -76,6 +109,11 @@ type Container struct {
 	// ownStore is the durable store this container opened from StateDir
 	// (nil when the caller supplied Store); Close flushes and closes it.
 	ownStore *db.DurableStore
+	// node and ownFeed exist only on replicated containers: the feed wraps
+	// the meta store (its stream ships to the successor shards) and node is
+	// the shard's replication endpoint.
+	node    *repl.Node
+	ownFeed *db.FeedStore
 
 	mu      sync.Mutex
 	seeders map[data.UID]*swarm.Peer
@@ -113,27 +151,81 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 			cfg.Backend = repository.NewMemBackend()
 		}
 	}
-	ds, err := scheduler.NewDurable(cfg.Store)
-	if err != nil {
+	var (
+		ownFeed *db.FeedStore
+		node    *repl.Node
+		c       *Container // late-bound: replication hooks capture it
+	)
+	fail := func(err error) (*Container, error) {
+		if node != nil {
+			node.Stop()
+		}
+		if ownFeed != nil {
+			ownFeed.Close()
+		}
 		if ownStore != nil {
 			ownStore.Close()
 		}
 		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if cfg.Replication != nil && cfg.Replication.Replicas > 1 {
+		rc := cfg.Replication
+		var err error
+		// The stream epoch is minted per boot: a restarted shard recovers
+		// its rows from disk but not its sequence counter, and the fresh
+		// epoch is what tells its replicas to resync from a snapshot.
+		ownFeed, err = db.NewFeedStore(cfg.Store, uint64(time.Now().UnixNano()))
+		if err != nil {
+			return fail(err)
+		}
+		backend := cfg.Backend
+		node, err = repl.NewNode(repl.Config{
+			Shard:          rc.Shard,
+			Addrs:          rc.Addrs,
+			Replicas:       rc.Replicas,
+			Feed:           ownFeed,
+			GatedTables:    []string{catalog.TableData, catalog.TableLocators},
+			SchedulerTable: scheduler.TableEntries,
+			ContentTable:   catalog.TableLocators,
+			AdoptScheduler: func(rows map[string][]byte) error { return c.DS.AdoptRows(rows) },
+			GetContent:     backend.Get,
+			PutContent:     backend.Put,
+			HasContent: func(uid string) bool {
+				_, err := backend.Size(uid)
+				return err == nil
+			},
+			DialOpts:      rc.DialOpts,
+			ProbeTimeout:  rc.ProbeTimeout,
+			SkipBootCheck: rc.SkipBootCheck,
+			Logf:          rc.Logf,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		// Every service write now flows feed-first (shipping to replicas)
+		// behind the ownership gate (refusing ranges this shard lost).
+		cfg.Store = node.Guard(ownFeed)
+	}
+	ds, err := scheduler.NewDurable(cfg.Store)
+	if err != nil {
+		return fail(err)
+	}
+	if node != nil {
+		ds.SetRangeGate(func(uid data.UID) error { return node.GateUID(string(uid)) })
 	}
 	dr, err := repository.NewDurableService(cfg.Backend, cfg.Store)
 	if err != nil {
-		if ownStore != nil {
-			ownStore.Close()
-		}
-		return nil, fmt.Errorf("runtime: %w", err)
+		return fail(err)
 	}
-	c := &Container{
+	c = &Container{
 		Mux:      rpc.NewMux(),
 		DC:       catalog.NewService(cfg.Store),
 		DR:       dr,
 		DT:       transfer.NewService(),
 		DS:       ds,
 		ownStore: ownStore,
+		node:     node,
+		ownFeed:  ownFeed,
 		seeders:  make(map[data.UID]*swarm.Peer),
 	}
 	if !cfg.DisableFTP {
@@ -175,8 +267,18 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 	c.DR.Mount(c.Mux)
 	c.DT.Mount(c.Mux)
 	c.DS.Mount(c.Mux)
+	if c.node != nil {
+		c.node.Mount(c.Mux)
+		// Ownership is resolved before the rpc server answers: no peer or
+		// client can observe this shard alive while it is still deciding
+		// whether it (or a promoted successor) owns its ranges — the
+		// ordering half of the split-brain argument.
+		c.node.Start()
+	}
 
-	if cfg.Addr != "" {
+	if cfg.Listener != nil {
+		c.rpcServer = rpc.NewServer(cfg.Listener, c.Mux, cfg.RPCOptions...)
+	} else if cfg.Addr != "" {
 		if c.rpcServer, err = rpc.Listen(cfg.Addr, c.Mux, cfg.RPCOptions...); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("runtime: %w", err)
@@ -184,6 +286,10 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 	}
 	return c, nil
 }
+
+// Repl returns the container's replication node (nil when the container is
+// not part of a replicated plane).
+func (c *Container) Repl() *repl.Node { return c.node }
 
 // Checkpoint forces a compaction of the container's durable store (a full
 // snapshot plus WAL rotation), bounding the replay a subsequent restart
@@ -244,6 +350,9 @@ func (c *Container) Close() error {
 	if c.rpcServer != nil {
 		c.rpcServer.Close()
 	}
+	if c.node != nil {
+		c.node.Stop()
+	}
 	if c.FTP != nil {
 		c.FTP.Close()
 	}
@@ -252,6 +361,9 @@ func (c *Container) Close() error {
 	}
 	if c.Tracker != nil {
 		c.Tracker.Close()
+	}
+	if c.ownFeed != nil {
+		c.ownFeed.Close()
 	}
 	if c.ownStore != nil {
 		c.ownStore.Close()

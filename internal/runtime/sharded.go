@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"fmt"
+	"net"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"bitdew/internal/rpc"
 )
@@ -22,11 +24,14 @@ type Membership struct {
 	Self int
 	// Addrs lists every shard's rpc address, in placement order.
 	Addrs []string
+	// Replicas is the plane's replication factor R (0 or 1 when the plane
+	// is unreplicated); clients use it to build failover-aware routing.
+	Replicas int
 }
 
 // MountMembership serves the membership table on a shard's Mux.
-func MountMembership(m *rpc.Mux, self int, addrs []string) {
-	table := Membership{Self: self, Addrs: append([]string(nil), addrs...)}
+func MountMembership(m *rpc.Mux, self int, addrs []string, replicas int) {
+	table := Membership{Self: self, Addrs: append([]string(nil), addrs...), Replicas: replicas}
 	rpc.Register(m, MembershipService, "Members", func(struct{}) (Membership, error) {
 		return table, nil
 	})
@@ -37,6 +42,26 @@ func Members(c rpc.Client) (Membership, error) {
 	var table Membership
 	err := c.Call(MembershipService, "Members", struct{}{}, &table)
 	return table, err
+}
+
+// DiscoverReplicas asks the plane for its replication factor R, trying each
+// shard in turn until one answers. It returns 0 — "assume unreplicated" —
+// when no shard is reachable or the plane predates replication; callers
+// pass the result to core.ConnectSharded via core.WithReplicas, so a
+// degraded discovery merely loses failover routing, never connectivity.
+func DiscoverReplicas(addrs []string) int {
+	for _, addr := range addrs {
+		c, err := rpc.Dial(addr, rpc.WithCallTimeout(2*time.Second))
+		if err != nil {
+			continue
+		}
+		table, err := Members(c)
+		c.Close()
+		if err == nil {
+			return table.Replicas
+		}
+	}
+	return 0
 }
 
 // ShardedConfig configures a sharded service plane hosted in one process.
@@ -63,6 +88,19 @@ type ShardedConfig struct {
 	// RPCOptions configure every shard's rpc server (latency, serve
 	// limits) — the per-host capacity model of the scaling experiments.
 	RPCOptions []rpc.ServerOption
+	// Replicas enables shard replication: each key range lives on its home
+	// shard plus Replicas-1 successor shards (internal/repl), so killing
+	// one shard costs no availability — a successor is promoted in its
+	// place. 0 or 1 leaves the plane unreplicated. Capped at Shards.
+	Replicas int
+	// ReplProbeTimeout bounds each failover liveness probe (0 = default).
+	ReplProbeTimeout time.Duration
+	// ReplDialOpts, when set, contributes extra dial options for shard
+	// `from`'s outbound replication connections to addr — the
+	// fault-injection hook of the failover crash-point tests.
+	ReplDialOpts func(from int, addr string) []rpc.DialOption
+	// ReplLogf receives replication life-cycle events from every shard.
+	ReplLogf func(format string, args ...any)
 }
 
 // ShardedContainer is a sharded D* service plane: N independent service
@@ -90,30 +128,93 @@ func NewShardedContainer(cfg ShardedConfig) (*ShardedContainer, error) {
 	if len(cfg.Addrs) != 0 && len(cfg.Addrs) != cfg.Shards {
 		return nil, fmt.Errorf("runtime: %d shards but %d addresses", cfg.Shards, len(cfg.Addrs))
 	}
+	if cfg.Replicas > cfg.Shards {
+		cfg.Replicas = cfg.Shards
+	}
 	s := &ShardedContainer{
 		cfg:    cfg,
 		shards: make([]*Container, cfg.Shards),
 		addrs:  make([]string, cfg.Shards),
 	}
-	for i := 0; i < cfg.Shards; i++ {
-		addr := "127.0.0.1:0"
-		if len(cfg.Addrs) != 0 {
-			addr = cfg.Addrs[i]
+	if cfg.Replicas > 1 {
+		// A replicated plane pre-listens every shard: replication needs the
+		// full membership table up front (shippers, failover probes), but
+		// the containers boot sequentially. Connections made to a not-yet-
+		// booted shard simply wait in its accept backlog.
+		liss := make([]net.Listener, cfg.Shards)
+		for i := range liss {
+			addr := "127.0.0.1:0"
+			if len(cfg.Addrs) != 0 {
+				addr = cfg.Addrs[i]
+			}
+			lis, err := net.Listen("tcp", addr)
+			if err != nil {
+				for _, l := range liss[:i] {
+					l.Close()
+				}
+				return nil, fmt.Errorf("runtime: shard %d: listen %s: %w", i, addr, err)
+			}
+			liss[i] = lis
+			s.addrs[i] = lis.Addr().String()
 		}
-		c, err := NewContainer(s.containerConfig(i, addr))
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("runtime: shard %d: %w", i, err)
+		for i := range liss {
+			ccfg := s.containerConfig(i, "")
+			ccfg.Listener = liss[i]
+			// SkipBootCheck: the whole plane is booting together here, so
+			// no shard can have promoted anything while another was down.
+			ccfg.Replication = s.replicationConfig(i, true)
+			c, err := NewContainer(ccfg)
+			if err != nil {
+				for _, l := range liss[i:] {
+					l.Close()
+				}
+				s.Close()
+				return nil, fmt.Errorf("runtime: shard %d: %w", i, err)
+			}
+			s.shards[i] = c
 		}
-		s.shards[i] = c
-		s.addrs[i] = c.Addr()
+	} else {
+		for i := 0; i < cfg.Shards; i++ {
+			addr := "127.0.0.1:0"
+			if len(cfg.Addrs) != 0 {
+				addr = cfg.Addrs[i]
+			}
+			c, err := NewContainer(s.containerConfig(i, addr))
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("runtime: shard %d: %w", i, err)
+			}
+			s.shards[i] = c
+			s.addrs[i] = c.Addr()
+		}
 	}
 	// The membership table needs every address, so it mounts after all
 	// shards are listening; mounting is idempotent per Mux.
 	for i, c := range s.shards {
-		MountMembership(c.Mux, i, s.addrs)
+		MountMembership(c.Mux, i, s.addrs, cfg.Replicas)
 	}
 	return s, nil
+}
+
+// replicationConfig derives shard i's replication wiring (nil when the
+// plane is unreplicated).
+func (s *ShardedContainer) replicationConfig(i int, skipBootCheck bool) *ReplicationConfig {
+	if s.cfg.Replicas < 2 {
+		return nil
+	}
+	rc := &ReplicationConfig{
+		Shard:         i,
+		Addrs:         s.addrs,
+		Replicas:      s.cfg.Replicas,
+		ProbeTimeout:  s.cfg.ReplProbeTimeout,
+		SkipBootCheck: skipBootCheck,
+		Logf:          s.cfg.ReplLogf,
+	}
+	if s.cfg.ReplDialOpts != nil {
+		from, hook := i, s.cfg.ReplDialOpts
+		rc.DialOpts = func(addr string) []rpc.DialOption { return hook(from, addr) }
+	}
+	return rc
 }
 
 // containerConfig derives shard i's container configuration.
@@ -173,14 +274,45 @@ func (s *ShardedContainer) RestartShard(i int) error {
 	if running {
 		return fmt.Errorf("runtime: shard %d still running", i)
 	}
-	c, err := NewContainer(s.containerConfig(i, s.addrs[i]))
+	ccfg := s.containerConfig(i, s.addrs[i])
+	// A restarting shard must resolve ownership by probing: a successor may
+	// have been promoted over its ranges while it was down, in which case
+	// it rejoins as a replica instead of serving stale state.
+	ccfg.Replication = s.replicationConfig(i, false)
+	c, err := NewContainer(ccfg)
 	if err != nil {
 		return fmt.Errorf("runtime: restart shard %d: %w", i, err)
 	}
-	MountMembership(c.Mux, i, s.addrs)
+	MountMembership(c.Mux, i, s.addrs, s.cfg.Replicas)
 	s.mu.Lock()
 	s.shards[i] = c
 	s.mu.Unlock()
+	return nil
+}
+
+// Replicas returns the plane's replication factor (0 or 1: unreplicated).
+func (s *ShardedContainer) Replicas() int { return s.cfg.Replicas }
+
+// WaitReplicated blocks until every live shard's outbound replication
+// streams are fully acknowledged (snapshot synced, tail acked, content
+// pulled), or the deadline passes. It is a healthy-plane barrier: while a
+// shard is down, its peers' streams to it cannot converge and this returns
+// an error at the deadline.
+func (s *ShardedContainer) WaitReplicated(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i := 0; i < s.N(); i++ {
+		c := s.Shard(i)
+		if c == nil || c.Repl() == nil {
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("runtime: replication convergence timed out after %v", timeout)
+		}
+		if err := c.Repl().WaitReplicated(remaining); err != nil {
+			return fmt.Errorf("runtime: shard %d: %w", i, err)
+		}
+	}
 	return nil
 }
 

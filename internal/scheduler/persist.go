@@ -14,6 +14,10 @@ import (
 // tableEntries is the db.Store table holding one record per scheduled datum.
 const tableEntries = "ds_entries"
 
+// TableEntries names the scheduler's persistence table; the replication
+// layer ships it and rebuilds live state from it at promotion (AdoptRows).
+const TableEntries = tableEntries
+
 // persistedEntry is the durable image of one datum under management: the
 // Θ entry itself plus its placement state (Ω owners and pins). Host
 // sessions — the delta-sync cache mirrors and their epochs — are

@@ -103,6 +103,9 @@ type Service struct {
 	// on the heartbeat path.
 	store    db.Store
 	storeErr error
+	// gate, when set (SetRangeGate), restricts the scheduler to the key
+	// ranges its shard currently owns in a replicated plane.
+	gate func(uid data.UID) error
 
 	// MaxDataSchedule caps new assignments per sync.
 	MaxDataSchedule int
@@ -144,6 +147,9 @@ func (s *Service) Schedule(d data.Data, a attr.Attribute) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.gateLocked(d.UID); err != nil {
+		return err
+	}
 	if e, ok := s.theta[d.UID]; ok {
 		e.Data = d
 		e.Attr = a
@@ -395,6 +401,15 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 
 	// Step 1: keep cached data that is still live.
 	for _, uid := range cache {
+		if s.gateLocked(uid) != nil {
+			// Not our range: stay non-committal. Reporting Keep (without
+			// any ownership bookkeeping) stops a rejoined ex-primary's
+			// stale Θ from ordering hosts to delete live data; the range's
+			// real owner is the authority on this datum's fate.
+			psi[uid] = true
+			result.Keep = append(result.Keep, uid)
+			continue
+		}
 		e, ok := s.theta[uid]
 		if ok && s.aliveLocked(e) {
 			psi[uid] = true
@@ -422,6 +437,9 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 	// replica count reflects reality and the datum can be re-assigned —
 	// possibly to this very host in step 2. Pinned ownership is exempt.
 	for uid, owners := range s.owners {
+		if s.gateLocked(uid) != nil {
+			continue // unowned range: leave its replicated state frozen
+		}
 		if _, owned := owners[host]; owned && !inCache[uid] && !s.pinned[uid][host] {
 			delete(owners, host)
 			dirty[uid] = true
@@ -438,6 +456,9 @@ func (s *Service) syncLocked(host string, cache []data.UID, clientOnly bool) Syn
 		uid := e.Data.UID
 		if psi[uid] || inCache[uid] || !s.aliveLocked(e) {
 			continue
+		}
+		if s.gateLocked(uid) != nil {
+			continue // never assign data from a range this shard lost
 		}
 		assign := false
 		// Affinity: schedule where the referenced datum already is.

@@ -43,9 +43,17 @@ type ShardedBlastConfig struct {
 	// plane unthrottled (functional tests).
 	ServiceTime time.Duration
 	// KillOneShard, after the wave converges, kills the highest-index
-	// shard and audits that every datum homed on a surviving shard keeps
-	// its catalog entry, locators, placements — and stays fetchable.
+	// shard and audits the plane's loss. Unreplicated, the audit checks
+	// the blast radius is exactly the dead shard's data: every datum homed
+	// on a surviving shard keeps its catalog entry, locators, placements —
+	// and stays fetchable. With Replicas > 1 the audit upgrades to ZERO
+	// unavailability: every datum of the wave, including those homed on
+	// the killed shard, must keep all three kinds of state and stay
+	// fetchable byte-for-byte through the same client — the failover
+	// router promotes the dead shard's successor on first contact.
 	KillOneShard bool
+	// Replicas is the plane's replication factor (0/1: unreplicated).
+	Replicas int
 	// StateDir optionally makes every shard durable (per-shard subdirs).
 	StateDir string
 	// Deadline bounds the distribution wait (default 30s).
@@ -64,7 +72,8 @@ type ShardedBlastReport struct {
 	PerShardData []int
 	// KilledShard is the shard killed by the fault variant (-1 when none).
 	KilledShard int
-	// SurvivorData counts the wave's data homed on surviving shards;
+	// SurvivorData counts the wave's data the kill must NOT lose: those
+	// homed on surviving shards, or — with Replicas > 1 — the WHOLE wave.
 	// SurvivedData/SurvivedLocators/SurvivedPlacements count how many of
 	// those kept each kind of state after the kill (all equal to
 	// SurvivorData when nothing was lost).
@@ -72,6 +81,11 @@ type ShardedBlastReport struct {
 	SurvivedData       int
 	SurvivedLocators   int
 	SurvivedPlacements int
+	// FailedOverData counts the killed shard's own data that stayed fully
+	// available through failover (0 on an unreplicated plane, where they
+	// are expected lost; equal to the killed shard's PerShardData count on
+	// a replicated one).
+	FailedOverData int
 }
 
 func (c *ShardedBlastConfig) defaults() {
@@ -111,6 +125,7 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 	pcfg := runtime.ShardedConfig{
 		Shards:   cfg.Shards,
 		StateDir: cfg.StateDir,
+		Replicas: cfg.Replicas,
 		// The wave moves over HTTP; the other protocol servers only cost
 		// boot time.
 		DisableFTP:   true,
@@ -128,7 +143,7 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 	}
 	defer plane.Close()
 
-	master, err := core.ConnectSharded(plane.Addrs())
+	master, err := core.ConnectSharded(plane.Addrs(), core.WithReplicas(plane.Replicas()))
 	if err != nil {
 		return report, err
 	}
@@ -141,7 +156,7 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 
 	workers := make([]*core.Node, cfg.Workers)
 	for i := range workers {
-		wset, err := core.ConnectSharded(plane.Addrs())
+		wset, err := core.ConnectSharded(plane.Addrs(), core.WithReplicas(plane.Replicas()))
 		if err != nil {
 			return report, err
 		}
@@ -242,10 +257,22 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 		return report, nil
 	}
 
-	// Kill the highest shard and audit the survivors: every datum homed on
-	// a live shard must keep its catalog entry, its locators, its
+	// Kill the highest shard and audit the loss. Unreplicated: every datum
+	// homed on a live shard must keep its catalog entry, its locators, its
 	// placements — and must still be fetchable through the same sharded
-	// client (home-shard routing never touches the dead address).
+	// client (home-shard routing never touches the dead address). With
+	// Replicas > 1, the same audit runs over the WHOLE wave — the failover
+	// router reaches the killed shard's state through its promoted
+	// successor, so zero data become unavailable.
+	replicated := plane.Replicas() > 1
+	if replicated {
+		// The kill must not race the replication stream, or the audit
+		// would measure shipping lag instead of failover: wait for every
+		// mutation of the wave to be acknowledged by its replicas first.
+		if err := plane.WaitReplicated(cfg.Deadline); err != nil {
+			return report, fmt.Errorf("testbed: sharded blast: pre-kill convergence: %w", err)
+		}
+	}
 	killed := cfg.Shards - 1
 	if err := plane.KillShard(killed); err != nil {
 		return report, err
@@ -253,18 +280,21 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 	report.KilledShard = killed
 	for i, d := range wave {
 		home := master.ShardOf(d.UID)
-		if home == killed {
+		if home == killed && !replicated {
 			continue
 		}
 		report.SurvivorData++
-		shard := plane.Shard(home)
-		if _, err := shard.DC.Get(d.UID); err == nil {
+		// Query through the client's range slot, not the container: over a
+		// replicated plane the slot fails over to the promoted successor —
+		// the first post-kill call IS the detection+promotion path.
+		c := master.Shard(home)
+		if _, err := c.DC.Get(d.UID); err == nil {
 			report.SurvivedData++
 		}
-		if locs, err := shard.DC.Locators(d.UID); err == nil && len(locs) > 0 {
+		if locs, err := c.DC.Locators(d.UID); err == nil && len(locs) > 0 {
 			report.SurvivedLocators++
 		}
-		if len(shard.DS.Owners(d.UID)) > 0 {
+		if owners, err := c.DS.Owners(d.UID); err == nil && len(owners) > 0 {
 			report.SurvivedPlacements++
 		}
 		if got, err := mnode.BitDew.GetBytes(*d); err != nil {
@@ -272,12 +302,19 @@ func RunShardedBlast(cfg ShardedBlastConfig) (ShardedBlastReport, error) {
 		} else if string(got) != string(contents[i]) {
 			return report, fmt.Errorf("testbed: sharded blast: surviving %s corrupted", d.Name)
 		}
+		if home == killed {
+			report.FailedOverData++
+		}
 	}
 	if report.SurvivedData != report.SurvivorData ||
 		report.SurvivedLocators != report.SurvivorData ||
 		report.SurvivedPlacements != report.SurvivorData {
 		return report, fmt.Errorf("testbed: sharded blast: survivors lost state: %d data, %d locators, %d placements of %d",
 			report.SurvivedData, report.SurvivedLocators, report.SurvivedPlacements, report.SurvivorData)
+	}
+	if replicated && report.FailedOverData != report.PerShardData[killed] {
+		return report, fmt.Errorf("testbed: sharded blast: %d of the killed shard's %d data failed over",
+			report.FailedOverData, report.PerShardData[killed])
 	}
 	return report, nil
 }

@@ -59,6 +59,43 @@ func TestRunShardedBlastKillShard(t *testing.T) {
 	}
 }
 
+// TestRunShardedBlastKillShardReplicated runs the fault variant over a
+// replicated plane (3 shards, R=2): after distribution, the highest shard
+// is killed and the audit upgrades to ZERO unavailability — every datum of
+// the wave, including those homed on the killed shard, keeps its catalog
+// entry, locators and placements and stays fetchable byte-for-byte through
+// the same client, which reaches the dead shard's state via its promoted
+// successor. RunShardedBlast itself errors on any loss; the assertions
+// below pin the audit's bookkeeping so the check cannot silently weaken.
+func TestRunShardedBlastKillShardReplicated(t *testing.T) {
+	report, err := testbed.RunShardedBlast(testbed.ShardedBlastConfig{
+		Shards:       3,
+		Workers:      3,
+		Tasks:        16,
+		Replicas:     2,
+		KillOneShard: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.KilledShard != 2 {
+		t.Fatalf("killed shard %d, want 2", report.KilledShard)
+	}
+	wave := report.Tasks + 1
+	if report.SurvivorData != wave {
+		t.Fatalf("audited %d of %d data — zero-unavailability audit must cover the whole wave", report.SurvivorData, wave)
+	}
+	if report.SurvivedData != wave || report.SurvivedLocators != wave || report.SurvivedPlacements != wave {
+		t.Fatalf("data became unavailable after the kill: %+v", report)
+	}
+	if report.PerShardData[report.KilledShard] == 0 {
+		t.Fatal("no data homed on the killed shard — audit proved nothing about failover")
+	}
+	if report.FailedOverData != report.PerShardData[report.KilledShard] {
+		t.Fatalf("%d of the killed shard's %d data failed over", report.FailedOverData, report.PerShardData[report.KilledShard])
+	}
+}
+
 // TestRunShardedBlastDurable re-runs the scenario over durable shards to
 // make sure per-shard StateDirs compose with sharding.
 func TestRunShardedBlastDurable(t *testing.T) {
