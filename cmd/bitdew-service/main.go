@@ -103,6 +103,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	var table *runtime.MembershipTable
 	if o.replicas > 1 && peers != nil {
 		// One shard of a multi-process replicated plane. Boots always
 		// probe (no SkipBootCheck): this process cannot know whether a
@@ -111,6 +112,18 @@ func main() {
 			Shard:    self,
 			Addrs:    peers,
 			Replicas: o.replicas,
+			Logf:     log.Printf,
+		}
+	} else if peers != nil {
+		// One shard of an unreplicated multi-process plane: elastic. The
+		// shard serves the rebalance protocol, so `bitdew ring add`/`drain`
+		// can reshape the plane live; every committed membership change is
+		// published through the shard's ring table.
+		table = runtime.NewMembershipTable(self, peers, o.replicas, 1)
+		cfg.Rebalance = &runtime.RebalanceConfig{
+			Shard:    self,
+			Shards:   len(peers),
+			OnCommit: table.Set,
 			Logf:     log.Printf,
 		}
 	}
@@ -122,11 +135,21 @@ func main() {
 	defer c.Close()
 
 	if peers != nil {
-		runtime.MountMembership(c.Mux, self, peers, o.replicas)
+		if table != nil {
+			// A restarted shard of a previously reshaped plane recovered its
+			// committed epoch; announce it (the operator restarts with the
+			// matching -peers list).
+			table.Set(c.Rebalance().Epoch(), peers)
+			table.Mount(c.Mux)
+		} else {
+			runtime.MountMembership(c.Mux, self, peers, o.replicas)
+		}
 		fmt.Printf("bitdew-service shard %d of %d listening\n", self, len(peers))
 		fmt.Printf("  membership:        %s\n", strings.Join(peers, ","))
 		if o.replicas > 1 {
 			fmt.Printf("  replication:       R=%d (automatic failover)\n", o.replicas)
+		} else {
+			fmt.Printf("  elastic:           epoch %d (grow/shrink with `bitdew ring add/drain`)\n", c.Rebalance().Epoch())
 		}
 	} else {
 		fmt.Printf("bitdew-service listening\n")

@@ -55,6 +55,7 @@ type options struct {
 	failOnErrors bool
 	failover     int
 	replicas     int
+	scaleout     bool
 }
 
 func main() {
@@ -76,6 +77,7 @@ func main() {
 	flag.BoolVar(&o.failOnErrors, "fail-on-errors", false, "exit nonzero when any op errored or throughput is zero")
 	flag.IntVar(&o.failover, "failover", 0, "instead of a load run, measure N kill-the-owner failover rounds on a replicated in-process plane (use with -shards, -replicas, -out BENCH_failover.json)")
 	flag.IntVar(&o.replicas, "replicas", 2, "replication factor of the -failover plane")
+	flag.BoolVar(&o.scaleout, "scaleout", false, "instead of a load run, measure a live 2->4 scale-out under BLAST traffic on an elastic in-process plane (use with -out BENCH_rebalance.json)")
 	flag.Parse()
 
 	rep, err := run(o)
@@ -101,6 +103,23 @@ func run(o options) (*loadgen.Report, error) {
 	mix, err := loadgen.ParseMix(o.mix)
 	if err != nil {
 		return nil, err
+	}
+	if o.scaleout {
+		if o.service != "" {
+			return nil, fmt.Errorf("bitdew-stress: -scaleout grows its own elastic plane; it cannot run against -service")
+		}
+		srep, err := testbed.RunScaleOut(testbed.ScaleOutConfig{
+			StartShards:  2,
+			EndShards:    4,
+			Workers:      4,
+			Tasks:        96,
+			PayloadBytes: o.payload,
+			ServiceTime:  6 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return srep.BuildReport(), nil
 	}
 	if o.failover > 0 {
 		if o.service != "" {

@@ -12,6 +12,8 @@
 //	bitdew -service HOST:PORT status
 //	bitdew -service HOST:PORT,HOST:PORT where <name>
 //	bitdew -service HOST:PORT ring
+//	bitdew -service HOST:PORT,HOST:PORT ring add <newaddr>
+//	bitdew -service HOST:PORT,HOST:PORT ring drain
 //	bitdew -service HOST:PORT,HOST:PORT repl [wait]
 //
 // Example:
@@ -32,10 +34,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"bitdew/internal/attr"
 	"bitdew/internal/core"
+	"bitdew/internal/rebalance"
 	"bitdew/internal/repl"
 	"bitdew/internal/rpc"
 	"bitdew/internal/runtime"
@@ -55,7 +59,7 @@ func main() {
 		log.Fatalf("-service %q names no address", *service)
 	}
 	if args[0] == "ring" {
-		cmdRing(addrs[0])
+		cmdRing(addrs, args[1:])
 		return
 	}
 	if args[0] == "repl" {
@@ -119,8 +123,41 @@ func cmdWhere(node *core.Node, set *core.ShardSet, addrs []string, args []string
 	fmt.Printf("%s %s shard %d of %d %s\n", d.Name, d.UID, shard, set.N(), addrs[shard])
 }
 
-// cmdRing fetches and prints the membership table one shard serves.
-func cmdRing(addr string) {
+// cmdRing inspects or reshapes the plane's membership: bare `ring` prints
+// the table one shard serves; `ring add <addr>` grows the plane onto an
+// already-started shard; `ring drain` retires the last shard.
+func cmdRing(addrs []string, args []string) {
+	switch {
+	case len(args) == 0:
+		printRing(addrs[0])
+	case args[0] == "add" && len(args) == 2:
+		cmdRingAdd(addrs, args[1])
+	case args[0] == "drain" && len(args) == 1:
+		cmdRingDrain(addrs)
+	default:
+		log.Fatal("ring: want no argument, `add <addr>`, or `drain`")
+	}
+}
+
+func printRing(addr string) {
+	table := fetchRing(addr)
+	printTable(table)
+}
+
+func printTable(table runtime.Membership) {
+	if table.Epoch > 0 {
+		fmt.Printf("epoch %d\n", table.Epoch)
+	}
+	for i, a := range table.Addrs {
+		marker := " "
+		if i == table.Self {
+			marker = "*"
+		}
+		fmt.Printf("%s shard %d  %s\n", marker, i, a)
+	}
+}
+
+func fetchRing(addr string) runtime.Membership {
 	c, err := rpc.DialAuto(addr, rpc.WithCallTimeout(10*time.Second))
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", addr, err)
@@ -130,13 +167,140 @@ func cmdRing(addr string) {
 	if err != nil {
 		log.Fatalf("membership of %s: %v (is it part of a sharded plane?)", addr, err)
 	}
-	for i, a := range table.Addrs {
-		marker := " "
-		if i == table.Self {
-			marker = "*"
-		}
-		fmt.Printf("%s shard %d  %s\n", marker, i, a)
+	return table
+}
+
+// ringOpTimeout bounds each rebalance protocol call. Staging streams every
+// moving row and its content, so the budget is generous.
+const ringOpTimeout = 10 * time.Minute
+
+// elasticRing fetches the membership table and refuses planes that cannot
+// rebalance (static or replicated ones).
+func elasticRing(addrs []string, op string) runtime.Membership {
+	table := fetchRing(addrs[0])
+	if table.Epoch == 0 {
+		log.Fatalf("ring %s: the plane is not elastic (no membership epoch); start every shard with -shard-id/-peers and no -replicas", op)
 	}
+	if table.Replicas > 1 {
+		log.Fatalf("ring %s: replicated planes reshape through repl, not elastic rebalancing", op)
+	}
+	return table
+}
+
+// cmdRingAdd grows the plane by one shard under live traffic. The new
+// shard must already be running, started as shard N of the grown list:
+//
+//	bitdew-service -addr <newaddr> -shard-id N -peers <cur...,newaddr>
+//
+// The protocol stages every current shard's moving rows onto it, cuts
+// ownership over, and commits the bumped epoch everywhere — clients follow
+// through their membership polling; no restart anywhere.
+func cmdRingAdd(addrs []string, newAddr string) {
+	table := elasticRing(addrs, "add")
+	cur := table.Addrs
+	for _, a := range cur {
+		if a == newAddr {
+			log.Fatalf("ring add: %s is already shard of the plane", newAddr)
+		}
+	}
+	newAddrs := append(append([]string(nil), cur...), newAddr)
+
+	newClient := rebalance.NewClient(rpc.DialAutoLazy(newAddr, rpc.WithCallTimeout(ringOpTimeout)))
+	st, err := newClient.Status()
+	if err != nil {
+		log.Fatalf("ring add: new shard %s unreachable: %v\nstart it first: bitdew-service -addr %s -shard-id %d -peers %s",
+			newAddr, err, newAddr, len(cur), strings.Join(newAddrs, ","))
+	}
+	if st.Self != len(cur) || st.Shards != len(newAddrs) {
+		log.Fatalf("ring add: %s runs as shard %d of %d; the joining shard must be started with -shard-id %d -peers %s",
+			newAddr, st.Self, st.Shards, len(cur), strings.Join(newAddrs, ","))
+	}
+
+	sources := make([]*rebalance.Client, len(cur))
+	for i, a := range cur {
+		sources[i] = rebalance.NewClient(rpc.DialAutoLazy(a, rpc.WithCallTimeout(ringOpTimeout)))
+	}
+	abort := func() {
+		for _, src := range sources {
+			//vet:ignore errlost abort is best-effort cleanup after the failure being reported
+			src.Abort()
+		}
+	}
+	// Stage in parallel: every source streams its moving rows to the new
+	// shard while continuing to serve.
+	errs := make([]error, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src *rebalance.Client) {
+			defer wg.Done()
+			if _, err := src.Stage(newAddrs); err != nil {
+				errs[i] = err
+			}
+		}(i, src)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			abort()
+			log.Fatalf("ring add: shard %d stage: %v", i, err)
+		}
+	}
+	for i, src := range sources {
+		if err := src.Cutover(); err != nil {
+			abort()
+			log.Fatalf("ring add: shard %d cutover: %v", i, err)
+		}
+	}
+	epoch := table.Epoch + 1
+	for i, src := range sources {
+		if err := src.Commit(epoch, newAddrs); err != nil {
+			log.Fatalf("ring add: shard %d commit: %v", i, err)
+		}
+	}
+	if err := newClient.Commit(epoch, newAddrs); err != nil {
+		log.Fatalf("ring add: shard %d commit: %v", len(cur), err)
+	}
+	fmt.Printf("added shard %d (%s) at epoch %d\n", len(cur), newAddr, epoch)
+	printRing(addrs[0])
+}
+
+// cmdRingDrain retires the plane's last shard: its rows stream to the
+// survivors, ownership cuts over, and the shrunk membership commits. The
+// drained process is NOT stopped — it keeps answering stale reads with
+// retained content and points old clients at the survivors — stop it once
+// clients have converged.
+func cmdRingDrain(addrs []string) {
+	table := elasticRing(addrs, "drain")
+	cur := table.Addrs
+	n := len(cur)
+	if n < 2 {
+		log.Fatal("ring drain: cannot drain the last shard")
+	}
+	newAddrs := append([]string(nil), cur[:n-1]...)
+	last := rebalance.NewClient(rpc.DialAutoLazy(cur[n-1], rpc.WithCallTimeout(ringOpTimeout)))
+	if _, err := last.Stage(newAddrs); err != nil {
+		//vet:ignore errlost abort is best-effort cleanup after the failure being reported
+		last.Abort()
+		log.Fatalf("ring drain: shard %d stage: %v", n-1, err)
+	}
+	if err := last.Cutover(); err != nil {
+		//vet:ignore errlost abort is best-effort cleanup after the failure being reported
+		last.Abort()
+		log.Fatalf("ring drain: shard %d cutover: %v", n-1, err)
+	}
+	epoch := table.Epoch + 1
+	for i := 0; i < n-1; i++ {
+		src := rebalance.NewClient(rpc.DialAutoLazy(cur[i], rpc.WithCallTimeout(ringOpTimeout)))
+		if err := src.Commit(epoch, newAddrs); err != nil {
+			log.Fatalf("ring drain: shard %d commit: %v", i, err)
+		}
+	}
+	if err := last.Commit(epoch, newAddrs); err != nil {
+		log.Fatalf("ring drain: shard %d commit: %v", n-1, err)
+	}
+	fmt.Printf("drained shard %d (%s) at epoch %d; stop its process once clients converge\n", n-1, cur[n-1], epoch)
+	printRing(addrs[0])
 }
 
 // cmdRepl prints each shard's replication status — owned ranges, stream

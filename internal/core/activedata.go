@@ -62,7 +62,7 @@ func (a *ActiveData) CreateAttribute(spec string) (attr.Attribute, error) {
 // Schedule associates the datum with an attribute and orders its home
 // shard's Data Scheduler to place it according to Algorithm 1.
 func (a *ActiveData) Schedule(d data.Data, at attr.Attribute) error {
-	return a.set.For(d.UID).DS.Schedule(d, at)
+	return a.set.homeCall(d.UID, func(c *Comms) error { return c.DS.Schedule(d, at) })
 }
 
 // ScheduleAll schedules many data in one round trip per home shard: the
@@ -80,16 +80,21 @@ func (a *ActiveData) ScheduleAll(ds []data.Data, as []attr.Attribute) error {
 		}
 		return as[0]
 	}
-	groups := a.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
-	return a.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
-		calls := make([]*rpc.Call, len(idx))
-		for j, i := range idx {
-			calls[j] = c.DS.ScheduleCall(ds[i], attrAt(i))
-		}
-		if err := c.CallBatch(calls); err != nil {
-			return err
-		}
-		return rpc.FirstError(calls)
+	// Schedule is put-overwrite idempotent, so a wave caught mid-rebalance
+	// reruns wholesale against the refreshed placement.
+	return a.set.retryElastic(func() error {
+		v := a.set.currentView()
+		groups := v.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+		return v.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+			calls := make([]*rpc.Call, len(idx))
+			for j, i := range idx {
+				calls[j] = c.DS.ScheduleCall(ds[i], attrAt(i))
+			}
+			if err := c.CallBatch(calls); err != nil {
+				return err
+			}
+			return rpc.FirstError(calls)
+		})
 	})
 }
 
@@ -107,7 +112,8 @@ func (a *ActiveData) Pin(d data.Data, at attr.Attribute) error {
 
 // PinAs pins the datum for an explicit host identity.
 func (a *ActiveData) PinAs(d data.Data, at attr.Attribute, host string) error {
-	if err := a.set.For(d.UID).DS.Pin(d, at, host); err != nil {
+	err := a.set.homeCall(d.UID, func(c *Comms) error { return c.DS.Pin(d, at, host) })
+	if err != nil {
 		return err
 	}
 	if a.node != nil && a.node.Host == host {
@@ -119,7 +125,7 @@ func (a *ActiveData) PinAs(d data.Data, at attr.Attribute, host string) error {
 // Unschedule withdraws the datum from its home shard's scheduler; data
 // bound to it by relative lifetime become obsolete.
 func (a *ActiveData) Unschedule(d data.Data) error {
-	return a.set.For(d.UID).DS.Unschedule(d.UID)
+	return a.set.homeCall(d.UID, func(c *Comms) error { return c.DS.Unschedule(d.UID) })
 }
 
 // AddCallback installs a life-cycle event handler (Listing 1's

@@ -6,8 +6,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"bitdew/internal/data"
+	"bitdew/internal/repl"
 	"bitdew/internal/repository"
 	"bitdew/internal/rpc"
 	"bitdew/internal/transfer"
@@ -71,29 +73,43 @@ func (b *BitDew) CreateDataBatch(names []string) ([]*data.Data, error) {
 		ds[i] = data.New(name)
 		regs[i] = *ds[i]
 	}
-	groups := b.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
-	var mu sync.Mutex
-	registered := make(map[int][]int) // shard -> successfully registered indexes
-	err := b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
-		part := make([]data.Data, len(idx))
-		for j, i := range idx {
-			part[j] = regs[i]
-		}
-		if err := c.DC.RegisterBatch(part); err != nil {
-			return fmt.Errorf("bitdew: createData batch of %d on shard %d: %w", len(part), shard, err)
-		}
-		mu.Lock()
-		registered[shard] = idx
-		mu.Unlock()
-		return nil
+	// Registration is put-overwrite idempotent, so the whole fan-out can
+	// rerun when an elastic rebalance moves a UID mid-batch; the rollback
+	// only happens once the retries are exhausted or the failure is real.
+	var registered map[int][]*Comms // index -> connections that registered it
+	err := b.set.retryElastic(func() error {
+		v := b.set.currentView()
+		groups := v.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+		var mu sync.Mutex
+		return v.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+			part := make([]data.Data, len(idx))
+			for j, i := range idx {
+				part[j] = regs[i]
+			}
+			if err := c.DC.RegisterBatch(part); err != nil {
+				return fmt.Errorf("bitdew: createData batch of %d on shard %d: %w", len(part), shard, err)
+			}
+			mu.Lock()
+			if registered == nil {
+				registered = make(map[int][]*Comms)
+			}
+			for _, i := range idx {
+				registered[i] = append(registered[i], c)
+			}
+			mu.Unlock()
+			return nil
+		})
 	})
 	if err != nil {
-		for shard, idx := range registered {
-			c := b.set.Shard(shard)
-			calls := make([]*rpc.Call, len(idx))
-			for j, i := range idx {
-				calls[j] = c.DC.DeleteCall(ds[i].UID)
+		// Best-effort rollback everywhere a registration landed (a retried
+		// batch may have registered a UID on its old and new home).
+		rollback := make(map[*Comms][]*rpc.Call)
+		for i, conns := range registered {
+			for _, c := range conns {
+				rollback[c] = append(rollback[c], c.DC.DeleteCall(ds[i].UID))
 			}
+		}
+		for c, calls := range rollback {
 			//vet:ignore errlost rollback is best-effort: the create already failed and is being reported; a shard that also fails the delete leaves an orphan slot, which is harmless
 			c.CallBatch(calls)
 		}
@@ -109,7 +125,8 @@ func (b *BitDew) CreateDataFromBytes(name string, content []byte) (*data.Data, e
 	if err := b.backend.Put(string(d.UID), content); err != nil {
 		return nil, err
 	}
-	if err := b.set.For(d.UID).DC.Register(*d); err != nil {
+	err := b.set.homeCall(d.UID, func(c *Comms) error { return c.DC.Register(*d) })
+	if err != nil {
 		return nil, fmt.Errorf("bitdew: createData %s: %w", name, err)
 	}
 	return d, nil
@@ -128,7 +145,8 @@ func (b *BitDew) CreateDataFromFile(path string) (*data.Data, error) {
 	if err := b.backend.Put(string(d.UID), content); err != nil {
 		return nil, err
 	}
-	if err := b.set.For(d.UID).DC.Register(*d); err != nil {
+	err = b.set.homeCall(d.UID, func(c *Comms) error { return c.DC.Register(*d) })
+	if err != nil {
 		return nil, fmt.Errorf("bitdew: createData %s: %w", path, err)
 	}
 	return d, nil
@@ -164,13 +182,19 @@ func (b *BitDew) PutAll(ds []*data.Data, contents [][]byte) error {
 			return err
 		}
 	}
-	groups := b.set.partition(len(ds), func(i int) data.UID { return ds[i].UID })
-	return b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
-		part := make([]*data.Data, len(idx))
-		for j, i := range idx {
-			part[j] = ds[i]
-		}
-		return b.putShard(c, part)
+	// The per-shard protocol (register, locators, upload, publish) is
+	// put-overwrite idempotent end to end, so a wave caught mid-rebalance
+	// simply reruns against the refreshed placement.
+	return b.set.retryElastic(func() error {
+		v := b.set.currentView()
+		groups := v.partition(len(ds), func(i int) data.UID { return ds[i].UID })
+		return v.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+			part := make([]*data.Data, len(idx))
+			for j, i := range idx {
+				part[j] = ds[i]
+			}
+			return b.putShard(c, part)
+		})
 	})
 }
 
@@ -333,13 +357,39 @@ func (b *BitDew) FetchAll(ds []data.Data, protocol string) error {
 // catalog + repository locators of ds[i], one multi-call frame per home
 // shard (frames in parallel), feeding the results into the locator cache.
 // A shard whose frame fails outright marks only its own data's errs slots
-// — shards fail independently, exactly like the heartbeat fan-out.
+// — shards fail independently, exactly like the heartbeat fan-out. On an
+// elastic plane, data refused as not-owner (their range moved mid-lookup)
+// are retried against a refreshed membership view, recomputing the pending
+// set each pass so only the moved data go back to the wire.
 func (b *BitDew) lookupLocators(ds []data.Data, protocol string, miss []int, candidates [][]data.Locator, errs []error) {
-	if len(miss) == 0 {
-		return
+	pending := miss
+	for pass := 0; len(pending) > 0; pass++ {
+		retry := b.lookupLocatorsOnce(ds, protocol, pending, candidates, errs)
+		if len(retry) == 0 || !b.set.elastic() || pass >= elasticRetryPasses-1 {
+			return
+		}
+		if !b.set.Refresh() {
+			time.Sleep(elasticRetryBackoff)
+			b.set.Refresh()
+		}
+		pending = retry
 	}
-	groups := b.set.partition(len(miss), func(j int) data.UID { return ds[miss[j]].UID })
-	b.set.eachShard(groups, func(shard int, c *Comms, idx []int) error {
+}
+
+// lookupLocatorsOnce runs one lookup pass over the current membership view
+// and returns the miss entries that failed with a not-owner handoff (worth
+// retrying after a refresh on an elastic plane).
+func (b *BitDew) lookupLocatorsOnce(ds []data.Data, protocol string, miss []int, candidates [][]data.Locator, errs []error) []int {
+	if len(miss) == 0 {
+		return nil
+	}
+	var (
+		mu    sync.Mutex
+		retry []int
+	)
+	v := b.set.currentView()
+	groups := v.partition(len(miss), func(j int) data.UID { return ds[miss[j]].UID })
+	v.eachShard(groups, func(shard int, c *Comms, idx []int) error {
 		uids := make([]data.UID, len(idx))
 		for k, j := range idx {
 			uids[k] = ds[miss[j]].UID
@@ -353,14 +403,23 @@ func (b *BitDew) lookupLocators(ds []data.Data, protocol string, miss []int, can
 			c.DR.LocatorAnyBatchCall(uids, protocol, &repLocs),
 		}
 		if err := c.CallBatch(calls); err != nil {
+			notOwner := repl.IsNotOwner(err)
+			mu.Lock()
 			for _, j := range idx {
 				errs[miss[j]] = fmt.Errorf("bitdew: fetch %s: shard %d: %w", ds[miss[j]].Name, shard, err)
+				if notOwner {
+					retry = append(retry, j)
+				}
 			}
+			mu.Unlock()
 			return nil
 		}
 		// Either source may fail independently (a stale catalog, a repository
 		// with no endpoints); a datum only errors when it ends up with no
 		// candidate at all, matching the sequential path's best-effort merge.
+		// A not-owner refusal from the catalog means the whole range moved:
+		// mark those data retryable instead of caching an empty answer.
+		notOwner := repl.IsNotOwner(calls[0].Err)
 		for k, j := range idx {
 			var out []data.Locator
 			seen := map[data.Locator]bool{}
@@ -378,11 +437,23 @@ func (b *BitDew) lookupLocators(ds []data.Data, protocol string, miss []int, can
 				}
 			}
 			i := miss[j]
+			errs[i] = nil
 			candidates[i] = out
+			if notOwner && len(out) == 0 {
+				mu.Lock()
+				retry = append(retry, j)
+				mu.Unlock()
+				continue
+			}
 			b.set.cache.put(ds[i].UID, protocol, out)
 		}
 		return nil
 	})
+	out := make([]int, len(retry))
+	for i, j := range retry {
+		out[i] = miss[j]
+	}
+	return out
 }
 
 // download fetches d through the first working candidate locator.
@@ -417,22 +488,39 @@ func (b *BitDew) GetFile(d data.Data, path string) error {
 // nothing downstream to invalidate and retry. The cached fast path with
 // stale-healing lives in FetchAll; locatorsFor only FEEDS the cache.
 func (b *BitDew) locatorsFor(d data.Data, protocol string) ([]data.Locator, error) {
-	c := b.set.For(d.UID)
 	var out []data.Locator
-	seen := map[data.Locator]bool{}
-	if locs, err := c.DC.Locators(d.UID); err == nil {
-		for _, l := range locs {
-			if protocol == "" || l.Protocol == protocol {
-				out = append(out, l)
-				seen[l] = true
+	err := b.set.homeCall(d.UID, func(c *Comms) error {
+		out = out[:0]
+		seen := map[data.Locator]bool{}
+		locs, catErr := c.DC.Locators(d.UID)
+		if catErr == nil {
+			for _, l := range locs {
+				if protocol == "" || l.Protocol == protocol {
+					out = append(out, l)
+					seen[l] = true
+				}
 			}
 		}
-	}
-	if loc, err := c.DR.LocatorAny(d.UID, protocol); err == nil && !seen[loc] {
-		out = append(out, loc)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("bitdew: no locator for %s", d.Name)
+		loc, repErr := c.DR.LocatorAny(d.UID, protocol)
+		if repErr == nil && !seen[loc] {
+			out = append(out, loc)
+		}
+		if len(out) == 0 {
+			// Surface a not-owner refusal so homeCall re-homes the datum
+			// after a rebalance; anything else keeps the best-effort merge's
+			// "no locator" answer.
+			if repl.IsNotOwner(catErr) {
+				return catErr
+			}
+			if repl.IsNotOwner(repErr) {
+				return repErr
+			}
+			return fmt.Errorf("bitdew: no locator for %s", d.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	b.set.cache.put(d.UID, protocol, out)
 	return out, nil
@@ -476,12 +564,13 @@ func (b *BitDew) AllData() ([]data.Data, error) {
 // its whole gated view per range slot queried), and the merge dedupes by
 // UID as a second line of defense against owner moves mid-query.
 func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.Data, error) {
-	if b.set.N() == 1 {
-		return query(b.set.Shard(0))
+	v := b.set.currentView()
+	if len(v.shards) == 1 {
+		return query(v.shards[0])
 	}
-	slots := make([]int, 0, b.set.N())
-	ownerSeen := make(map[int]bool, b.set.N())
-	for i := 0; i < b.set.N(); i++ {
+	slots := make([]int, 0, len(v.shards))
+	ownerSeen := make(map[int]bool, len(v.shards))
+	for i := range v.shards {
 		if owner := b.set.OwnerOf(i); !ownerSeen[owner] {
 			ownerSeen[owner] = true
 			slots = append(slots, i)
@@ -494,7 +583,7 @@ func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.D
 		wg.Add(1)
 		go func(j, i int) {
 			defer wg.Done()
-			parts[j], errs[j] = query(b.set.Shard(i))
+			parts[j], errs[j] = query(v.shards[i])
 		}(j, i)
 	}
 	wg.Wait()
@@ -512,7 +601,10 @@ func (b *BitDew) fanOutSearch(query func(*Comms) ([]data.Data, error)) ([]data.D
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
-	if b.set.Replicated() {
+	if b.set.Replicated() || b.set.elastic() {
+		// Replicated: owner moves mid-query can answer a range twice.
+		// Elastic: a query racing a commit's garbage collection can see a
+		// migrated datum on both its old and new home for a moment.
 		out = dedupeByUID(out)
 	}
 	return out, nil
@@ -549,11 +641,14 @@ func (b *BitDew) SearchDataFirst(name string) (data.Data, error) {
 // lingering in the catalog with its content gone. The two best-effort
 // deletions (scheduler, repository) then share one multi-call round trip.
 func (b *BitDew) DeleteData(d data.Data) error {
-	c := b.set.For(d.UID)
-	if err := c.DC.Delete(d.UID); err != nil {
+	err := b.set.homeCall(d.UID, func(c *Comms) error { return c.DC.Delete(d.UID) })
+	if err != nil {
 		return err
 	}
 	b.set.cache.invalidate(d.UID)
+	// homeCall above refreshed the view on a rebalance, so For now resolves
+	// the datum's committed home.
+	c := b.set.For(d.UID)
 	//vet:ignore errlost both deletions are best-effort by contract (the datum may be unscheduled or empty); the gating catalog delete above already succeeded
 	c.CallBatch([]*rpc.Call{
 		c.DS.UnscheduleCall(d.UID), // best-effort: may not be scheduled

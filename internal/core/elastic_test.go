@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bitdew/internal/core"
+)
+
+// TestParseMembership pins the membership parser every client and server
+// share: blanks trim, empty entries (trailing commas, doubled commas) drop,
+// and duplicate addresses collapse to their first occurrence — a doubled
+// address must not give one host two placement slots.
+func TestParseMembership(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{",", nil},
+		{" , ,", nil},
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{"a:1,b:2,", []string{"a:1", "b:2"}},
+		{",a:1,,b:2,,", []string{"a:1", "b:2"}},
+		{"  a:1 ,\tb:2  ", []string{"a:1", "b:2"}},
+		{"a:1,a:1", []string{"a:1"}},
+		{"a:1,b:2,a:1", []string{"a:1", "b:2"}},
+		{"a:1, a:1 ,b:2,b:2", []string{"a:1", "b:2"}},
+	}
+	for _, c := range cases {
+		if got := core.ParseMembership(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseMembership(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestElasticScaleOut grows a live 2-shard plane to 3 under a connected
+// client and checks the full contract: reads stay byte-exact BEFORE the
+// client learns the new membership (stale cached locators resolve against
+// retained content), the refresh adopts the bumped epoch and flushes the
+// cache, and afterwards every datum — including the ones re-homed onto the
+// new shard — still reads byte-exact through the committed placement.
+func TestElasticScaleOut(t *testing.T) {
+	h := newShardedHarness(t, 2)
+	set := h.connect()
+	master, err := core.NewNode(core.NodeConfig{Host: "master", Shards: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Stop)
+	master.SetClientOnly(true)
+
+	if got := set.Epoch(); got != 1 {
+		t.Fatalf("connect: epoch %d, want 1", got)
+	}
+	ds, contents := putWave(t, master, 40)
+	// Warm the locator cache: these are the entries a rebalance must not
+	// let go stale-and-wrong.
+	for _, d := range ds {
+		if _, err := master.BitDew.GetBytes(*d); err != nil {
+			t.Fatalf("warm fetch %s: %v", d.Name, err)
+		}
+	}
+
+	newIdx, err := h.plane.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIdx != 2 {
+		t.Fatalf("AddShard: new index %d, want 2", newIdx)
+	}
+	if got := h.plane.Epoch(); got != 2 {
+		t.Fatalf("plane epoch %d after AddShard, want 2", got)
+	}
+
+	// Window between commit and client refresh: the view still has 2
+	// shards and the cache still points at pre-move endpoints. Every read
+	// must stay byte-exact — moved content is retained on its old shard.
+	if set.N() != 2 {
+		t.Fatalf("pre-refresh view has %d shards, want 2", set.N())
+	}
+	for i, d := range ds {
+		got, err := master.BitDew.GetBytes(*d)
+		if err != nil {
+			t.Fatalf("stale-view fetch %s: %v", d.Name, err)
+		}
+		if string(got) != string(contents[i]) {
+			t.Fatalf("stale-view fetch %s: got %q want %q", d.Name, got, contents[i])
+		}
+	}
+
+	if !set.Refresh() {
+		t.Fatal("Refresh did not adopt the committed membership")
+	}
+	if got := set.Epoch(); got != 2 {
+		t.Fatalf("post-refresh epoch %d, want 2", got)
+	}
+	if set.N() != 3 {
+		t.Fatalf("post-refresh view has %d shards, want 3", set.N())
+	}
+
+	// The epoch bump must have flushed the cache (satellite: no fetch may
+	// ride a pre-bump entry past a refresh): re-fetch everything through
+	// the new placement and check the re-homed data actually moved.
+	_, missesBefore := set.LocatorCacheStats()
+	moved := 0
+	for i, d := range ds {
+		if set.ShardOf(d.UID) == 2 {
+			moved++
+		}
+		got, err := master.BitDew.GetBytes(*d)
+		if err != nil {
+			t.Fatalf("post-refresh fetch %s: %v", d.Name, err)
+		}
+		if string(got) != string(contents[i]) {
+			t.Fatalf("post-refresh fetch %s: got %q want %q", d.Name, got, contents[i])
+		}
+	}
+	_, missesAfter := set.LocatorCacheStats()
+	if missesAfter == missesBefore {
+		t.Fatal("post-refresh fetches all hit the locator cache: the epoch bump did not flush it")
+	}
+	if moved == 0 {
+		t.Fatal("no datum re-homed onto the new shard (40 data over 3 shards)")
+	}
+	// The re-homed data must be served by the NEW shard's catalog.
+	for _, d := range ds {
+		if set.ShardOf(d.UID) != 2 {
+			continue
+		}
+		if _, err := h.plane.Shard(2).DC.Get(d.UID); err != nil {
+			t.Fatalf("%s homed on new shard but not in its catalog: %v", d.Name, err)
+		}
+	}
+}
+
+// TestElasticDrain shrinks a live 3-shard plane to 2 and checks no datum is
+// lost: every row and its content re-homes onto the survivors, the client
+// follows the shrunk membership, and reads stay byte-exact even after the
+// drained container is released.
+func TestElasticDrain(t *testing.T) {
+	h := newShardedHarness(t, 3)
+	set := h.connect()
+	master, err := core.NewNode(core.NodeConfig{Host: "master", Shards: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Stop)
+	master.SetClientOnly(true)
+
+	ds, contents := putWave(t, master, 40)
+	onLast := 0
+	for _, d := range ds {
+		if set.ShardOf(d.UID) == 2 {
+			onLast++
+		}
+	}
+	if onLast == 0 {
+		t.Fatal("no datum homed on the shard to drain; test proves nothing")
+	}
+
+	retired, err := h.plane.DrainShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != 2 {
+		t.Fatalf("DrainShard retired %d, want 2", retired)
+	}
+	if !set.Refresh() {
+		t.Fatal("Refresh did not adopt the shrunk membership")
+	}
+	if set.N() != 2 {
+		t.Fatalf("post-drain view has %d shards, want 2", set.N())
+	}
+	// Release the retired container: from here the old endpoints are dead,
+	// so every fetch must resolve through the survivors.
+	if err := h.plane.ReleaseDrained(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds {
+		got, err := master.BitDew.GetBytes(*d)
+		if err != nil {
+			t.Fatalf("post-drain fetch %s: %v", d.Name, err)
+		}
+		if string(got) != string(contents[i]) {
+			t.Fatalf("post-drain fetch %s: got %q want %q", d.Name, got, contents[i])
+		}
+	}
+	all, err := master.BitDew.AllData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ds) {
+		t.Fatalf("post-drain AllData: %d data, want %d", len(all), len(ds))
+	}
+}
+
+// TestElasticRetrySchedule pins the not-owner retry path: a client that
+// refuses to refresh spontaneously (its view is stale) must still land
+// single-datum calls after a rebalance, by following the not-owner handoff
+// through a refresh.
+func TestElasticRetrySchedule(t *testing.T) {
+	h := newShardedHarness(t, 2)
+	set := h.connect()
+	master, err := core.NewNode(core.NodeConfig{Host: "master", Shards: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Stop)
+	master.SetClientOnly(true)
+
+	ds, _ := putWave(t, master, 24)
+	if _, err := h.plane.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The view is still the 2-shard one. Scheduling a datum that re-homed
+	// onto shard 2 hits its OLD shard first, which answers not-owner; the
+	// call must converge through the elastic retry, not surface the error.
+	a, err := master.ActiveData.CreateAttribute(fmt.Sprintf("attr pin%d = { replica = 1 }", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := 0
+	for _, d := range ds {
+		if err := master.ActiveData.Schedule(*d, a); err != nil {
+			t.Fatalf("schedule %s across rebalance: %v", d.Name, err)
+		}
+		scheduled++
+	}
+	if set.Epoch() != 2 {
+		t.Fatalf("retry path did not adopt the new epoch: %d", set.Epoch())
+	}
+	if scheduled != len(ds) {
+		t.Fatalf("scheduled %d of %d", scheduled, len(ds))
+	}
+}

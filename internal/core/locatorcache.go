@@ -35,6 +35,9 @@ type locatorCache struct {
 	order   *list.List // front = most recently used
 	hits    uint64
 	misses  uint64
+	// epoch is the membership epoch the entries were resolved under; a
+	// bump flushes everything (see setEpoch).
+	epoch uint64
 }
 
 type locatorCacheEntry struct {
@@ -129,6 +132,22 @@ func (c *locatorCache) invalidateRange(place *dht.Placement, rangeID int) {
 		}
 		el = next
 	}
+}
+
+// setEpoch records the membership epoch the cache's entries resolve under.
+// A bump past a previously learned epoch flushes every entry: a rebalance
+// moved key ranges, so cached endpoints may point at a shard that no
+// longer owns (or soon stops serving) the datum. The first learned epoch
+// (0 → e) flushes nothing — the entries were resolved under that same
+// membership, the client just had not seen its number yet.
+func (c *locatorCache) setEpoch(e uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != 0 && e != c.epoch {
+		c.entries = make(map[locatorKey]*list.Element)
+		c.order.Init()
+	}
+	c.epoch = e
 }
 
 // stats returns the cumulative hit and miss counts.

@@ -96,6 +96,11 @@ type Node struct {
 	// dead shard's heartbeat error never blocks the others' placements
 	// from applying.
 	sessions map[int]*shardSession
+	// lastViewEpoch is the membership epoch the sessions were built
+	// against (guarded by syncMu). When an elastic plane commits a new
+	// epoch, every shard's key ranges move, so the delta sessions restart
+	// from full reports under the new placement.
+	lastViewEpoch uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -277,21 +282,34 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
 
+	// Follow elastic membership changes, then capture ONE view for the
+	// whole round: grouping, sessions and reports all agree on a single
+	// placement even when a rebalance commits mid-round.
+	n.set.PollEpoch()
+	v := n.set.currentView()
+	if v.epoch != n.lastViewEpoch {
+		// The membership changed: every shard's key ranges moved, so the
+		// per-shard delta sessions describe slices that no longer exist.
+		// Restart them — the next report per shard is a full one.
+		n.sessions = make(map[int]*shardSession)
+		n.lastViewEpoch = v.epoch
+	}
+
 	// The reported cache is the dataset this host manages: completed
 	// copies plus in-flight downloads. Reporting in-flight data keeps the
 	// scheduler's ownership heartbeats alive during transfers longer than
 	// the failure-detection timeout.
 	n.mu.Lock()
 	clientOnly := n.clientOnly
-	perShard := make([]map[data.UID]bool, n.set.N())
+	perShard := make([]map[data.UID]bool, len(v.shards))
 	for i := range perShard {
 		perShard[i] = make(map[data.UID]bool)
 	}
 	for uid := range n.cache {
-		perShard[n.set.ShardOf(uid)][uid] = true
+		perShard[v.place.ShardOf(string(uid))][uid] = true
 	}
 	for uid := range n.inflight {
-		perShard[n.set.ShardOf(uid)][uid] = true
+		perShard[v.place.ShardOf(string(uid))][uid] = true
 	}
 	n.mu.Unlock()
 
@@ -301,8 +319,8 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 		slot    int
 		current map[data.UID]bool
 	}
-	groups := make(map[int]*ownerGroup, n.set.N())
-	for i := 0; i < n.set.N(); i++ {
+	groups := make(map[int]*ownerGroup, len(v.shards))
+	for i := range v.shards {
 		owner := n.set.OwnerOf(i)
 		g := groups[owner]
 		if g == nil {
@@ -332,7 +350,7 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 	var merged scheduler.SyncDeltaResult
 	if len(groups) == 1 {
 		for owner, g := range groups {
-			res, err := n.heartbeatShard(owner, g.slot, g.current, clientOnly)
+			res, err := n.heartbeatShard(owner, v.shards[g.slot], g.current, clientOnly)
 			if err != nil {
 				return merged, err
 			}
@@ -352,7 +370,7 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 		wg.Add(1)
 		go func(owner int, g *ownerGroup) {
 			defer wg.Done()
-			res, err := n.heartbeatShard(owner, g.slot, g.current, clientOnly)
+			res, err := n.heartbeatShard(owner, v.shards[g.slot], g.current, clientOnly)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -372,10 +390,11 @@ func (n *Node) heartbeat() (scheduler.SyncDeltaResult, error) {
 
 // heartbeatShard runs one physical shard's delta heartbeat (with the
 // full-report fallback) against its session, committing the acknowledged
-// state on success. The report travels over range slot's connection so it
-// benefits from failover routing. The caller holds syncMu and has created
-// the session; each owner's session is touched only by its own goroutine.
-func (n *Node) heartbeatShard(owner, slot int, current map[data.UID]bool, clientOnly bool) (scheduler.SyncDeltaResult, error) {
+// state on success. The report travels over the round's captured view of
+// the range slot's connection so it benefits from failover routing. The
+// caller holds syncMu and has created the session; each owner's session is
+// touched only by its own goroutine.
+func (n *Node) heartbeatShard(owner int, c *Comms, current map[data.UID]bool, clientOnly bool) (scheduler.SyncDeltaResult, error) {
 	sess := n.sessions[owner]
 	args := scheduler.SyncDeltaArgs{
 		Host:       n.Host,
@@ -400,7 +419,7 @@ func (n *Node) heartbeatShard(owner, slot int, current map[data.UID]bool, client
 		}
 	}
 
-	ds := n.set.Shard(slot).DS
+	ds := c.DS
 	res, err := ds.SyncDelta(args)
 	if err != nil {
 		return res, fmt.Errorf("core: sync %s: %w", n.Host, err)

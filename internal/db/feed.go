@@ -184,6 +184,23 @@ func (f *FeedStore) SnapshotAndFollow(buf int) (seq uint64, snapshot []Mutation,
 	return f.seq, snapshot, feed, nil
 }
 
+// Unsubscribe removes one subscription from the feed and closes its
+// channel (with a nil Err, like an orderly store close). A no-op for
+// subscriptions already dropped. Mutations already buffered in the
+// channel stay readable until the close is drained.
+func (f *FeedStore) Unsubscribe(feed *Feed) {
+	f.mu.Lock()
+	live := f.subs[:0]
+	for _, s := range f.subs {
+		if s != feed {
+			live = append(live, s)
+		}
+	}
+	f.subs = live
+	f.mu.Unlock()
+	feed.drop(nil)
+}
+
 // Feed is one subscription to a FeedStore's mutation stream.
 type Feed struct {
 	ch chan Mutation

@@ -1,0 +1,79 @@
+package dht
+
+import "sort"
+
+// Range is an arc (Lo, Hi] of the identifier circle: it contains every id
+// strictly above Lo and at or below Hi, wrapping through zero when
+// Lo >= Hi. Half-open on the low side matches ShardOf's "first point at or
+// after" rule — the point anchoring an arc owns the arc's high endpoint.
+type Range struct {
+	Lo, Hi ID
+}
+
+// Contains reports whether id lies on the arc.
+func (r Range) Contains(id ID) bool {
+	if r.Lo < r.Hi {
+		return id > r.Lo && id <= r.Hi
+	}
+	return id > r.Lo || id <= r.Hi
+}
+
+// ContainsKey reports whether key's identifier lies on the arc.
+func (r Range) ContainsKey(key string) bool { return r.Contains(HashID(key)) }
+
+// Move is one arc of the circle whose owner changes between two
+// placements: every key hashing into Range moves from shard From to shard
+// To.
+type Move struct {
+	Range Range
+	From  int
+	To    int
+}
+
+// ownerOfID is ShardOf on a raw identifier: the shard owning the first
+// placement point at or after id (wrapping).
+func (p *Placement) ownerOfID(id ID) int {
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].id >= id })
+	if i == len(p.points) {
+		i = 0
+	}
+	return p.points[i].shard
+}
+
+// Diff computes the exact set of arcs whose ownership differs between two
+// placements. The union of both placements' points cuts the circle into
+// elementary arcs; within one such arc no placement point intervenes, so
+// ownership is uniform in BOTH placements and equals the owner of the
+// arc's high boundary. Arcs whose owner is unchanged are dropped; adjacent
+// arcs making the same From→To move are coalesced. A key is in some
+// returned Move's Range if and only if old.ShardOf(key) != next.ShardOf(key).
+func Diff(old, next *Placement) []Move {
+	ids := make([]ID, 0, len(old.points)+len(next.points))
+	for _, pt := range old.points {
+		ids = append(ids, pt.id)
+	}
+	for _, pt := range next.points {
+		ids = append(ids, pt.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	uniq := ids[:0]
+	for _, id := range ids {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != id {
+			uniq = append(uniq, id)
+		}
+	}
+	var out []Move
+	for i, hi := range uniq {
+		lo := uniq[(i+len(uniq)-1)%len(uniq)]
+		from, to := old.ownerOfID(hi), next.ownerOfID(hi)
+		if from == to {
+			continue
+		}
+		if n := len(out) - 1; n >= 0 && out[n].Range.Hi == lo && out[n].From == from && out[n].To == to {
+			out[n].Range.Hi = hi // extend the previous arc
+			continue
+		}
+		out = append(out, Move{Range: Range{Lo: lo, Hi: hi}, From: from, To: to})
+	}
+	return out
+}

@@ -28,6 +28,10 @@ const placementVnodes = 32
 type Placement struct {
 	n      int
 	points []placePoint // sorted by id, ties broken by shard
+	// succ[s] is shard s's full successor walk (s first, then every other
+	// shard in clockwise first-occurrence order), precomputed once so the
+	// failover/reroute hot path never re-scans the n×vnodes point list.
+	succ [][]int
 }
 
 type placePoint struct {
@@ -55,6 +59,10 @@ func NewPlacement(n int) *Placement {
 		}
 		return p.points[i].shard < p.points[j].shard
 	})
+	p.succ = make([][]int, n)
+	for shard := 0; shard < n; shard++ {
+		p.succ[shard] = p.successorsWalk(shard, n)
+	}
 	return p
 }
 
@@ -81,6 +89,15 @@ func (p *Placement) Successors(shard, r int) []int {
 	if r > p.n {
 		r = p.n
 	}
+	out := make([]int, r)
+	copy(out, p.succ[shard][:r])
+	return out
+}
+
+// successorsWalk is the original O(n·vnodes) circle walk, kept as the
+// ground truth NewPlacement precomputes from (and the cross-check test
+// pins Successors against).
+func (p *Placement) successorsWalk(shard, r int) []int {
 	out := []int{shard}
 	if r == 1 {
 		return out

@@ -116,3 +116,97 @@ func TestPlacementSuccessors(t *testing.T) {
 		t.Fatalf("Successors on 1-shard plane = %v", got)
 	}
 }
+
+// TestSuccessorsCrossCheck pins the precomputed Successors tables against
+// the original circle walk, byte-identical over every (n, shard, r)
+// combination in the deployment band.
+func TestSuccessorsCrossCheck(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		p := NewPlacement(n)
+		for shard := 0; shard < n; shard++ {
+			for r := 1; r <= n; r++ {
+				got := p.Successors(shard, r)
+				want := p.successorsWalk(shard, r)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d Successors(%d,%d) = %v, walk = %v", n, shard, r, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d Successors(%d,%d) = %v, walk = %v", n, shard, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSuccessorsMonotone extends TestPlacementMonotone to the replica walk:
+// growing n → n+1 must not gratuitously churn replica sets. Removing the
+// new shard from any post-growth walk yields exactly the pre-growth walk —
+// so a range untouched by the growth keeps its old replica set except where
+// the new shard itself displaced a member.
+func TestSuccessorsMonotone(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		old, next := NewPlacement(n), NewPlacement(n+1)
+		for shard := 0; shard < n; shard++ {
+			after := next.Successors(shard, n+1)
+			filtered := make([]int, 0, n)
+			for _, s := range after {
+				if s != n {
+					filtered = append(filtered, s)
+				}
+			}
+			before := old.Successors(shard, n)
+			if len(filtered) != len(before) {
+				t.Fatalf("n=%d shard %d: filtered walk %v vs old walk %v", n, shard, filtered, before)
+			}
+			for i := range before {
+				if filtered[i] != before[i] {
+					t.Fatalf("n=%d shard %d: growth churned the walk: new %v (filtered %v) vs old %v",
+						n, shard, after, filtered, before)
+				}
+			}
+		}
+	}
+}
+
+// TestDiffMatchesShardOf pins Diff's contract: a key lies in some returned
+// Move's range if and only if its home shard changes, and the Move's
+// From/To match ShardOf on both sides.
+func TestDiffMatchesShardOf(t *testing.T) {
+	cases := [][2]int{{2, 3}, {3, 2}, {2, 4}, {4, 5}, {1, 2}, {5, 5}}
+	for _, c := range cases {
+		old, next := NewPlacement(c[0]), NewPlacement(c[1])
+		moves := Diff(old, next)
+		if c[0] == c[1] && len(moves) != 0 {
+			t.Fatalf("Diff(%d,%d) returned %d moves for identical placements", c[0], c[1], len(moves))
+		}
+		const keys = 8000
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("uid-%d", i)
+			from, to := old.ShardOf(k), next.ShardOf(k)
+			var hit *Move
+			for j := range moves {
+				if moves[j].Range.ContainsKey(k) {
+					if hit != nil {
+						t.Fatalf("Diff(%d,%d): key %s in two ranges", c[0], c[1], k)
+					}
+					hit = &moves[j]
+				}
+			}
+			if from == to {
+				if hit != nil {
+					t.Fatalf("Diff(%d,%d): unmoved key %s inside move %+v", c[0], c[1], k, *hit)
+				}
+				continue
+			}
+			if hit == nil {
+				t.Fatalf("Diff(%d,%d): moved key %s (%d→%d) in no range", c[0], c[1], k, from, to)
+			}
+			if hit.From != from || hit.To != to {
+				t.Fatalf("Diff(%d,%d): key %s moved %d→%d but range says %d→%d",
+					c[0], c[1], k, from, to, hit.From, hit.To)
+			}
+		}
+	}
+}

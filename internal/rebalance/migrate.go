@@ -1,0 +1,356 @@
+package rebalance
+
+import (
+	"fmt"
+	"time"
+
+	"bitdew/internal/db"
+	"bitdew/internal/dht"
+	"bitdew/internal/rpc"
+)
+
+// migration is one staged outbound move: this shard's arcs that change
+// owner under the proposed membership, the targets receiving them, and the
+// feed subscription tracking writes that land while it is in flight.
+type migration struct {
+	newAddrs  []string
+	moves     []dht.Move
+	targets   map[int]*target
+	endpoints map[string]string // this (source) shard's endpoints at stage time
+	feed      *db.Feed
+	lastSeq   uint64 // highest feed sequence forwarded (snapshot watermark at stage)
+}
+
+type target struct {
+	shard  int
+	addr   string
+	client rpc.Client
+}
+
+// movesFor filters a placement diff down to the arcs leaving shard self.
+func movesFor(diff []dht.Move, self int) []dht.Move {
+	var out []dht.Move
+	for _, mv := range diff {
+		if mv.From == self {
+			out = append(out, mv)
+		}
+	}
+	return out
+}
+
+// Stage prepares this shard's side of a membership change to newAddrs:
+// computes the outbound moves, snapshots the feed, and installs every
+// moving row on its target while the shard keeps serving. On success the
+// migration stays staged (the feed subscription keeps accumulating the
+// write tail) until Cutover or Abort. One migration may be staged at a
+// time.
+func (n *Node) Stage(newAddrs []string) error {
+	if len(newAddrs) < 1 {
+		return fmt.Errorf("rebalance: staging an empty membership")
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return fmt.Errorf("rebalance: shard %d is stopped", n.cfg.Self)
+	}
+	if n.pending != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("rebalance: shard %d already staging a migration (abort it first)", n.cfg.Self)
+	}
+	oldPlace := n.place
+	m := &migration{newAddrs: append([]string(nil), newAddrs...)}
+	n.pending = m // reserve; all rpc below happens outside the lock
+	n.mu.Unlock()
+
+	ok := false
+	defer func() {
+		if !ok {
+			n.Abort()
+		}
+	}()
+
+	m.moves = movesFor(dht.Diff(oldPlace, dht.NewPlacement(len(newAddrs))), n.cfg.Self)
+	m.targets = make(map[int]*target)
+	for _, mv := range m.moves {
+		if mv.To < 0 || mv.To >= len(newAddrs) {
+			return fmt.Errorf("rebalance: move targets shard %d outside membership of %d", mv.To, len(newAddrs))
+		}
+		if m.targets[mv.To] == nil {
+			t := &target{shard: mv.To, addr: newAddrs[mv.To]}
+			t.client = rpc.DialAutoLazy(t.addr, n.dialOpts(t.addr, stageCallTimeout)...)
+			m.targets[mv.To] = t
+		}
+	}
+	if n.cfg.Endpoints != nil {
+		m.endpoints = n.cfg.Endpoints()
+	}
+
+	seq, snap, feed, err := n.cfg.Feed.SnapshotAndFollow(stageBuffer)
+	if err != nil {
+		return fmt.Errorf("rebalance: shard %d snapshotting: %w", n.cfg.Self, err)
+	}
+	m.feed = feed
+	m.lastSeq = seq
+
+	batches := make(map[int][]MoveRow)
+	moved := 0
+	for _, mut := range snap {
+		row, tgt, moving := n.moveRowFor(m, mut)
+		if !moving {
+			continue
+		}
+		batches[tgt] = append(batches[tgt], row)
+		moved++
+	}
+	for tgt, rows := range batches {
+		if err := n.install(m, tgt, rows); err != nil {
+			return err
+		}
+	}
+	// Forward whatever the feed buffered while the snapshot pushed.
+	if err := n.drainFeed(m, 0); err != nil {
+		return err
+	}
+	n.logf("rebalance: shard %d staged %d→%d: %d arcs, %d rows to %d targets",
+		n.cfg.Self, oldPlace.Shards(), len(newAddrs), len(m.moves), moved, len(m.targets))
+	ok = true
+	return nil
+}
+
+// Cutover flips ownership of the staged arcs: the departure gate engages
+// (moving keys refuse with ErrNotOwner from here on), then the write tail
+// is drained to the feed's current sequence number. Because the gate
+// precedes the barrier read, no mutation of a moving key can be assigned a
+// sequence after the barrier — once the barrier is forwarded, the targets
+// hold every moving row. On error the caller should Abort (the gate
+// disengages and the source resumes serving the arcs).
+func (n *Node) Cutover() error {
+	n.mu.Lock()
+	m := n.pending
+	if m == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("rebalance: shard %d has no staged migration", n.cfg.Self)
+	}
+	for _, mv := range m.moves {
+		n.departed = append(n.departed, mv.Range)
+	}
+	n.mu.Unlock()
+
+	barrier := n.cfg.Feed.Seq()
+	if err := n.drainFeed(m, barrier); err != nil {
+		return err
+	}
+	n.cfg.Feed.Unsubscribe(m.feed)
+	n.logf("rebalance: shard %d cut over %d arcs at seq %d", n.cfg.Self, len(m.moves), barrier)
+	return nil
+}
+
+// Abort cancels a staged migration: the departure gate disengages, the
+// feed subscription is dropped and target connections close. Rows already
+// installed on targets are left behind — invisible behind the targets'
+// own guards, overwritten by a re-stage, garbage-collected at their next
+// commit.
+func (n *Node) Abort() {
+	n.mu.Lock()
+	m := n.pending
+	n.pending = nil
+	n.departed = nil
+	n.mu.Unlock()
+	if m == nil {
+		return
+	}
+	if m.feed != nil {
+		n.cfg.Feed.Unsubscribe(m.feed)
+	}
+	for _, t := range m.targets {
+		if t.client != nil {
+			t.client.Close()
+		}
+	}
+}
+
+// Commit adopts a committed membership: the new placement and epoch become
+// live, the departure gate clears, the state persists, and rows that no
+// longer home here are garbage-collected. Commit is what a coordinator
+// calls on EVERY shard — sources, targets and bystanders — after all
+// cutovers succeeded; re-committing an already-adopted epoch is a no-op.
+func (n *Node) Commit(epoch uint64, addrs []string) error {
+	if len(addrs) < 1 {
+		return fmt.Errorf("rebalance: committing an empty membership")
+	}
+	n.mu.Lock()
+	if epoch < n.epoch || (epoch == n.epoch && n.place.Shards() == len(addrs)) {
+		n.mu.Unlock()
+		if epoch < n.epoch {
+			return fmt.Errorf("rebalance: shard %d at epoch %d refuses commit of older epoch %d", n.cfg.Self, n.epoch, epoch)
+		}
+		return nil
+	}
+	m := n.pending
+	n.pending = nil
+	n.departed = nil
+	n.epoch = epoch
+	n.place = dht.NewPlacement(len(addrs))
+	place := n.place
+	n.mu.Unlock()
+
+	if m != nil {
+		if m.feed != nil {
+			n.cfg.Feed.Unsubscribe(m.feed)
+		}
+		for _, t := range m.targets {
+			if t.client != nil {
+				t.client.Close()
+			}
+		}
+	}
+	n.persistState(epoch, len(addrs))
+	n.collectGhosts(place)
+	n.logf("rebalance: shard %d committed epoch %d over %d shards", n.cfg.Self, epoch, len(addrs))
+	if n.cfg.OnCommit != nil {
+		n.cfg.OnCommit(epoch, append([]string(nil), addrs...))
+	}
+	return nil
+}
+
+// collectGhosts deletes rows whose key no longer homes on this shard under
+// the committed placement: the rows a cutover moved away, plus any remnant
+// of an aborted stage. Scheduler rows unschedule through the scheduler so
+// its in-memory Θ stays coherent with the persisted table. Repository
+// content is deliberately kept — stale cached locators keep reading the
+// old copy until every client has healed onto the new epoch.
+func (n *Node) collectGhosts(place *dht.Placement) {
+	for table := range n.migrated {
+		keys, err := n.cfg.Feed.Keys(table)
+		if err != nil {
+			n.logf("rebalance: shard %d: listing %s: %v", n.cfg.Self, table, err)
+			continue
+		}
+		for _, k := range keys {
+			if place.ShardOf(k) == n.cfg.Self {
+				continue
+			}
+			if table == n.cfg.SchedulerTable && n.cfg.DropScheduler != nil {
+				if err := n.cfg.DropScheduler(k); err == nil {
+					continue // unschedule persisted the row deletion itself
+				}
+			}
+			if err := n.cfg.Feed.Delete(table, k); err != nil {
+				n.logf("rebalance: shard %d: dropping ghost %s/%s: %v", n.cfg.Self, table, k, err)
+			}
+		}
+	}
+}
+
+// moveRowFor maps one feed mutation to its migration row and target, or
+// reports it not moving. Locator rows carry the datum's repository content
+// inline when this shard holds it.
+func (n *Node) moveRowFor(m *migration, mut db.Mutation) (MoveRow, int, bool) {
+	if !n.migrated[mut.Table] {
+		return MoveRow{}, 0, false
+	}
+	for _, mv := range m.moves {
+		if !mv.Range.ContainsKey(mut.Key) {
+			continue
+		}
+		row := MoveRow{Op: mut.Op, Table: mut.Table, Key: mut.Key, Value: mut.Value}
+		if mut.Op == 'P' && mut.Table == n.cfg.ContentTable && n.cfg.GetContent != nil {
+			if n.cfg.HasContent == nil || n.cfg.HasContent(mut.Key) {
+				if content, err := n.cfg.GetContent(mut.Key); err == nil {
+					row.Content = content
+					row.HasContent = true
+				}
+			}
+		}
+		return row, mv.To, true
+	}
+	return MoveRow{}, 0, false
+}
+
+// install ships rows to one target in bounded frames. Install is
+// put-overwrite idempotent on the target, so a failed stage can simply be
+// re-run.
+func (n *Node) install(m *migration, tgt int, rows []MoveRow) error {
+	t := m.targets[tgt]
+	if t == nil {
+		return fmt.Errorf("rebalance: shard %d has no staged target %d", n.cfg.Self, tgt)
+	}
+	for len(rows) > 0 {
+		count, bytes := 0, 0
+		for count < len(rows) && count < installBatchMax && bytes < installBytesMax {
+			bytes += len(rows[count].Value) + len(rows[count].Content)
+			count++
+		}
+		args := InstallArgs{Source: n.cfg.Self, Endpoints: m.endpoints, Rows: rows[:count]}
+		var rep InstallReply
+		if err := t.client.Call(ServiceName, "Install", args, &rep); err != nil {
+			return fmt.Errorf("rebalance: shard %d installing %d rows on shard %d (%s): %w",
+				n.cfg.Self, count, tgt, t.addr, err)
+		}
+		rows = rows[count:]
+	}
+	return nil
+}
+
+// drainFeed forwards buffered tail mutations to their targets. With
+// barrier == 0 it drains until the channel is momentarily empty (stage's
+// catch-up); with a barrier it blocks until every mutation at or below the
+// barrier has been forwarded, bounded by cutoverDrainTimeout. A closed
+// subscription (overflow) fails the migration — the caller aborts and
+// re-stages.
+func (n *Node) drainFeed(m *migration, barrier uint64) error {
+	if m.feed == nil {
+		return fmt.Errorf("rebalance: shard %d migration has no feed", n.cfg.Self)
+	}
+	batches := make(map[int][]MoveRow)
+	flush := func() error {
+		for tgt, rows := range batches {
+			if err := n.install(m, tgt, rows); err != nil {
+				return err
+			}
+			delete(batches, tgt)
+		}
+		return nil
+	}
+	forward := func(mut db.Mutation, ok bool) error {
+		if !ok {
+			return fmt.Errorf("rebalance: shard %d migration feed lost (%v) — re-stage", n.cfg.Self, m.feed.Err())
+		}
+		m.lastSeq = mut.Seq
+		if row, tgt, moving := n.moveRowFor(m, mut); moving {
+			batches[tgt] = append(batches[tgt], row)
+		}
+		return nil
+	}
+	timer := time.NewTimer(cutoverDrainTimeout)
+	defer timer.Stop()
+	for {
+		if barrier > 0 {
+			if m.lastSeq >= barrier {
+				return flush()
+			}
+			// Every mutation at or below the barrier was broadcast into this
+			// buffered subscription before the barrier was read, so this
+			// blocking receive always has a bounded wait; the timer only
+			// guards a logic bug from becoming a hang.
+			select {
+			case mut, ok := <-m.feed.C():
+				if err := forward(mut, ok); err != nil {
+					return err
+				}
+			case <-timer.C:
+				return fmt.Errorf("rebalance: shard %d drain stuck at seq %d short of barrier %d after %v",
+					n.cfg.Self, m.lastSeq, barrier, cutoverDrainTimeout)
+			}
+			continue
+		}
+		select {
+		case mut, ok := <-m.feed.C():
+			if err := forward(mut, ok); err != nil {
+				return err
+			}
+		default:
+			return flush()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package rebalance
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"bitdew/internal/data"
+	"bitdew/internal/rpc"
+)
+
+// MoveRow is one migrated row on the wire: a live-table mutation plus,
+// for locator rows, the datum's repository content riding inline.
+type MoveRow struct {
+	Op         byte // 'P' put, 'D' delete
+	Table      string
+	Key        string
+	Value      []byte
+	Content    []byte
+	HasContent bool
+}
+
+// InstallArgs ships a batch of moving rows to their new home. Endpoints
+// carries the SOURCE shard's protocol → host:port repository endpoints so
+// the target can rewrite locator hosts to its own.
+type InstallArgs struct {
+	Source    int
+	Endpoints map[string]string
+	Rows      []MoveRow
+}
+
+// InstallReply acknowledges how many rows applied.
+type InstallReply struct {
+	Applied int
+}
+
+// StageArgs proposes a membership change: the full new address list in
+// placement order.
+type StageArgs struct {
+	NewAddrs []string
+}
+
+// StageReply reports the staged outbound move count.
+type StageReply struct {
+	Arcs    int
+	Targets int
+}
+
+// CutoverArgs flips ownership of the staged arcs.
+type CutoverArgs struct{}
+
+// CutoverReply is empty; success is the answer.
+type CutoverReply struct{}
+
+// AbortArgs cancels a staged migration.
+type AbortArgs struct{}
+
+// AbortReply is empty.
+type AbortReply struct{}
+
+// CommitArgs adopts a committed membership on any shard.
+type CommitArgs struct {
+	Epoch uint64
+	Addrs []string
+}
+
+// CommitReply is empty.
+type CommitReply struct{}
+
+// StatusArgs asks a shard's rebalance state.
+type StatusArgs struct{}
+
+// StatusReply reports it.
+type StatusReply struct {
+	Self    int
+	Epoch   uint64
+	Shards  int
+	Staging bool
+}
+
+// Mount registers the rebalance protocol on the container's Mux.
+func (n *Node) Mount(m *rpc.Mux) {
+	rpc.Register(m, ServiceName, "Stage", func(a StageArgs) (StageReply, error) {
+		if err := n.Stage(a.NewAddrs); err != nil {
+			return StageReply{}, err
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.pending == nil {
+			return StageReply{}, nil
+		}
+		return StageReply{Arcs: len(n.pending.moves), Targets: len(n.pending.targets)}, nil
+	})
+	rpc.Register(m, ServiceName, "Cutover", func(CutoverArgs) (CutoverReply, error) {
+		return CutoverReply{}, n.Cutover()
+	})
+	rpc.Register(m, ServiceName, "Abort", func(AbortArgs) (AbortReply, error) {
+		n.Abort()
+		return AbortReply{}, nil
+	})
+	rpc.Register(m, ServiceName, "Commit", func(a CommitArgs) (CommitReply, error) {
+		return CommitReply{}, n.Commit(a.Epoch, a.Addrs)
+	})
+	rpc.Register(m, ServiceName, "Install", n.handleInstall)
+	rpc.Register(m, ServiceName, "Status", func(StatusArgs) (StatusReply, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return StatusReply{
+			Self:    n.cfg.Self,
+			Epoch:   n.epoch,
+			Shards:  n.place.Shards(),
+			Staging: n.pending != nil,
+		}, nil
+	})
+}
+
+// handleInstall applies migrated rows beneath this shard's guard: the rows
+// belong to keys the shard does not own YET, so they go straight through
+// the feed (and stay hidden behind the guard until the commit flips
+// ownership). Install is put-overwrite idempotent — sources re-run failed
+// stages freely.
+func (n *Node) handleInstall(a InstallArgs) (InstallReply, error) {
+	applied := 0
+	for _, row := range a.Rows {
+		if err := n.applyRow(a.Endpoints, row); err != nil {
+			return InstallReply{Applied: applied}, fmt.Errorf("rebalance: installing %s/%s from shard %d: %w",
+				row.Table, row.Key, a.Source, err)
+		}
+		applied++
+	}
+	return InstallReply{Applied: applied}, nil
+}
+
+func (n *Node) applyRow(srcEndpoints map[string]string, row MoveRow) error {
+	switch {
+	case row.Table == n.cfg.SchedulerTable:
+		if row.Op == 'D' {
+			if n.cfg.DropScheduler != nil {
+				// Ghost-tolerant: the datum may never have been installed
+				// here (deleted at the source between snapshot and tail).
+				_ = n.cfg.DropScheduler(row.Key)
+			}
+			return nil
+		}
+		if n.cfg.AdoptScheduler == nil {
+			return nil
+		}
+		return n.cfg.AdoptScheduler(map[string][]byte{row.Key: row.Value})
+	case row.Op == 'D':
+		return n.cfg.Feed.Delete(row.Table, row.Key)
+	case row.Table == n.cfg.ContentTable:
+		if row.HasContent && n.cfg.PutContent != nil {
+			if err := n.cfg.PutContent(row.Key, row.Content); err != nil {
+				return err
+			}
+		}
+		return n.cfg.Feed.Put(row.Table, row.Key, n.rewriteLocators(srcEndpoints, row.Value))
+	default:
+		return n.cfg.Feed.Put(row.Table, row.Key, row.Value)
+	}
+}
+
+// rewriteLocators re-homes a migrated locator row: locators whose host was
+// the source shard's repository endpoint for a protocol now carry this
+// shard's own endpoint, so post-commit fetches land where the content now
+// lives. Locators pointing at worker hosts (peer copies) pass through
+// untouched — those copies did not move.
+func (n *Node) rewriteLocators(srcEndpoints map[string]string, raw []byte) []byte {
+	if len(srcEndpoints) == 0 || n.cfg.Endpoints == nil {
+		return raw
+	}
+	own := n.cfg.Endpoints()
+	if len(own) == 0 {
+		return raw
+	}
+	var locs []data.Locator
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&locs); err != nil {
+		return raw // not a locator list; ship verbatim
+	}
+	changed := false
+	for i := range locs {
+		if locs[i].Host == "" || srcEndpoints[locs[i].Protocol] != locs[i].Host {
+			continue
+		}
+		if ownAddr, ok := own[locs[i].Protocol]; ok && ownAddr != locs[i].Host {
+			locs[i].Host = ownAddr
+			changed = true
+		}
+	}
+	if !changed {
+		return raw
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(locs); err != nil {
+		return raw
+	}
+	return b.Bytes()
+}
+
+// Client drives a remote shard's rebalance protocol (the `bitdew ring
+// add`/`drain` subcommands).
+type Client struct {
+	c rpc.Client
+}
+
+// NewClient wraps an rpc connection to a shard.
+func NewClient(c rpc.Client) *Client { return &Client{c: c} }
+
+// Stage proposes the membership change on the shard.
+func (cl *Client) Stage(newAddrs []string) (StageReply, error) {
+	var rep StageReply
+	err := cl.c.Call(ServiceName, "Stage", StageArgs{NewAddrs: newAddrs}, &rep)
+	return rep, err
+}
+
+// Cutover flips ownership of the staged arcs on the shard.
+func (cl *Client) Cutover() error {
+	var rep CutoverReply
+	return cl.c.Call(ServiceName, "Cutover", CutoverArgs{}, &rep)
+}
+
+// Abort cancels the shard's staged migration.
+func (cl *Client) Abort() error {
+	var rep AbortReply
+	return cl.c.Call(ServiceName, "Abort", AbortArgs{}, &rep)
+}
+
+// Commit adopts the committed membership on the shard.
+func (cl *Client) Commit(epoch uint64, addrs []string) error {
+	var rep CommitReply
+	return cl.c.Call(ServiceName, "Commit", CommitArgs{Epoch: epoch, Addrs: addrs}, &rep)
+}
+
+// Status reports the shard's rebalance state.
+func (cl *Client) Status() (StatusReply, error) {
+	var rep StatusReply
+	err := cl.c.Call(ServiceName, "Status", StatusArgs{}, &rep)
+	return rep, err
+}

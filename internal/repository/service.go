@@ -94,6 +94,17 @@ func (s *Service) Protocols() []string {
 	return out
 }
 
+// Endpoints returns a copy of the protocol → host:port endpoint table.
+func (s *Service) Endpoints() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.endpoints))
+	for p, addr := range s.endpoints {
+		out[p] = addr
+	}
+	return out
+}
+
 // SetLocatorHook installs a callback invoked before each locator is issued.
 func (s *Service) SetLocatorHook(fn func(uid data.UID, protocol string) error) {
 	s.mu.Lock()

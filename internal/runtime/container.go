@@ -20,6 +20,7 @@ import (
 	"bitdew/internal/protocols/ftp"
 	"bitdew/internal/protocols/httpx"
 	"bitdew/internal/protocols/swarm"
+	"bitdew/internal/rebalance"
 	"bitdew/internal/repl"
 	"bitdew/internal/repository"
 	"bitdew/internal/rpc"
@@ -68,6 +69,29 @@ type ContainerConfig struct {
 	// shipped to its successor shards, the ownership gate guards its key
 	// ranges, and the repl service (failover, rejoin) is mounted.
 	Replication *ReplicationConfig
+	// Rebalance, when set, wires this container into the elastic-membership
+	// plane: its meta store is feed-wrapped behind the rebalance ownership
+	// guard and the rebal service (Stage/Cutover/Commit/Install) is
+	// mounted, so the plane can grow and shrink under live traffic.
+	// Mutually exclusive with Replication (replicated planes move ranges
+	// through repl's ownership protocol instead).
+	Rebalance *RebalanceConfig
+}
+
+// RebalanceConfig is the per-shard elastic-membership wiring of a
+// container.
+type RebalanceConfig struct {
+	// Shard is this container's index; Shards the plane's shard count at
+	// boot (a persisted committed epoch overrides it on restart).
+	Shard  int
+	Shards int
+	// OnCommit observes every committed membership change; the sharded
+	// runtime publishes it through the ring table.
+	OnCommit func(epoch uint64, addrs []string)
+	// DialOpts contributes extra dial options per outbound peer address.
+	DialOpts func(addr string) []rpc.DialOption
+	// Logf receives rebalance life-cycle events.
+	Logf func(format string, args ...any)
 }
 
 // ReplicationConfig is the per-shard replication wiring of a container.
@@ -111,8 +135,10 @@ type Container struct {
 	ownStore *db.DurableStore
 	// node and ownFeed exist only on replicated containers: the feed wraps
 	// the meta store (its stream ships to the successor shards) and node is
-	// the shard's replication endpoint.
+	// the shard's replication endpoint. rnode is the elastic-membership
+	// counterpart (feed-wrapped too, mutually exclusive with node).
 	node    *repl.Node
+	rnode   *rebalance.Node
 	ownFeed *db.FeedStore
 
 	mu      sync.Mutex
@@ -154,11 +180,15 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 	var (
 		ownFeed *db.FeedStore
 		node    *repl.Node
+		rnode   *rebalance.Node
 		c       *Container // late-bound: replication hooks capture it
 	)
 	fail := func(err error) (*Container, error) {
 		if node != nil {
 			node.Stop()
+		}
+		if rnode != nil {
+			rnode.Stop()
 		}
 		if ownFeed != nil {
 			ownFeed.Close()
@@ -167,6 +197,9 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 			ownStore.Close()
 		}
 		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if cfg.Replication != nil && cfg.Replication.Replicas > 1 && cfg.Rebalance != nil {
+		return fail(fmt.Errorf("a container replicates or rebalances, not both — replicated planes move ranges through repl"))
 	}
 	if cfg.Replication != nil && cfg.Replication.Replicas > 1 {
 		rc := cfg.Replication
@@ -205,6 +238,41 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		// Every service write now flows feed-first (shipping to replicas)
 		// behind the ownership gate (refusing ranges this shard lost).
 		cfg.Store = node.Guard(ownFeed)
+	} else if cfg.Rebalance != nil {
+		rb := cfg.Rebalance
+		var err error
+		ownFeed, err = db.NewFeedStore(cfg.Store, uint64(time.Now().UnixNano()))
+		if err != nil {
+			return fail(err)
+		}
+		backend := cfg.Backend
+		rnode, err = rebalance.NewNode(rebalance.Config{
+			Self:           rb.Shard,
+			Shards:         rb.Shards,
+			Feed:           ownFeed,
+			Tables:         []string{catalog.TableData, catalog.TableLocators},
+			SchedulerTable: scheduler.TableEntries,
+			ContentTable:   catalog.TableLocators,
+			Endpoints:      func() map[string]string { return c.DR.Endpoints() },
+			GetContent:     backend.Get,
+			PutContent:     backend.Put,
+			HasContent: func(uid string) bool {
+				_, err := backend.Size(uid)
+				return err == nil
+			},
+			AdoptScheduler: func(rows map[string][]byte) error { return c.DS.AdoptRows(rows) },
+			DropScheduler:  func(uid string) error { return c.DS.Unschedule(data.UID(uid)) },
+			OnCommit:       rb.OnCommit,
+			DialOpts:       rb.DialOpts,
+			Logf:           rb.Logf,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		// Every service write flows through the feed (migrations snapshot
+		// and follow it) behind the ownership guard (refusing keys that
+		// departed in a cutover or never homed here).
+		cfg.Store = rnode.Guard(ownFeed)
 	}
 	ds, err := scheduler.NewDurable(cfg.Store)
 	if err != nil {
@@ -212,6 +280,9 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 	}
 	if node != nil {
 		ds.SetRangeGate(func(uid data.UID) error { return node.GateUID(string(uid)) })
+	}
+	if rnode != nil {
+		ds.SetRangeGate(func(uid data.UID) error { return rnode.GateKey(string(uid)) })
 	}
 	dr, err := repository.NewDurableService(cfg.Backend, cfg.Store)
 	if err != nil {
@@ -225,6 +296,7 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		DS:       ds,
 		ownStore: ownStore,
 		node:     node,
+		rnode:    rnode,
 		ownFeed:  ownFeed,
 		seeders:  make(map[data.UID]*swarm.Peer),
 	}
@@ -275,6 +347,9 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		// ordering half of the split-brain argument.
 		c.node.Start()
 	}
+	if c.rnode != nil {
+		c.rnode.Mount(c.Mux)
+	}
 
 	if cfg.Listener != nil {
 		c.rpcServer = rpc.NewServer(cfg.Listener, c.Mux, cfg.RPCOptions...)
@@ -290,6 +365,10 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 // Repl returns the container's replication node (nil when the container is
 // not part of a replicated plane).
 func (c *Container) Repl() *repl.Node { return c.node }
+
+// Rebalance returns the container's elastic-membership node (nil when the
+// container is not part of an elastic plane).
+func (c *Container) Rebalance() *rebalance.Node { return c.rnode }
 
 // Checkpoint forces a compaction of the container's durable store (a full
 // snapshot plus WAL rotation), bounding the replay a subsequent restart
@@ -352,6 +431,9 @@ func (c *Container) Close() error {
 	}
 	if c.node != nil {
 		c.node.Stop()
+	}
+	if c.rnode != nil {
+		c.rnode.Stop()
 	}
 	if c.FTP != nil {
 		c.FTP.Close()

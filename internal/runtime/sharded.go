@@ -27,14 +27,63 @@ type Membership struct {
 	// Replicas is the plane's replication factor R (0 or 1 when the plane
 	// is unreplicated); clients use it to build failover-aware routing.
 	Replicas int
+	// Epoch numbers the membership: an elastic plane bumps it on every
+	// committed AddShard/DrainShard, and clients that see a higher epoch
+	// than their view rebuild their shard set around the new Addrs. 0
+	// marks a static plane (fixed at boot, nothing to poll for).
+	Epoch uint64
 }
 
-// MountMembership serves the membership table on a shard's Mux.
-func MountMembership(m *rpc.Mux, self int, addrs []string, replicas int) {
-	table := Membership{Self: self, Addrs: append([]string(nil), addrs...), Replicas: replicas}
+// MembershipTable serves a shard's (possibly changing) membership view
+// under the "ring" service. Static planes never call Set; elastic planes
+// Set on every committed rebalance, which is how clients learn the plane
+// grew or shrank.
+type MembershipTable struct {
+	mu    sync.Mutex
+	table Membership
+}
+
+// NewMembershipTable builds the table with an initial view.
+func NewMembershipTable(self int, addrs []string, replicas int, epoch uint64) *MembershipTable {
+	return &MembershipTable{table: Membership{
+		Self:     self,
+		Addrs:    append([]string(nil), addrs...),
+		Replicas: replicas,
+		Epoch:    epoch,
+	}}
+}
+
+// Mount serves the table on a shard's Mux.
+func (t *MembershipTable) Mount(m *rpc.Mux) {
 	rpc.Register(m, MembershipService, "Members", func(struct{}) (Membership, error) {
-		return table, nil
+		return t.Table(), nil
 	})
+}
+
+// Set publishes a committed membership change.
+func (t *MembershipTable) Set(epoch uint64, addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch < t.table.Epoch {
+		return
+	}
+	t.table.Epoch = epoch
+	t.table.Addrs = append([]string(nil), addrs...)
+}
+
+// Table returns the current view.
+func (t *MembershipTable) Table() Membership {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.table
+	out.Addrs = append([]string(nil), t.table.Addrs...)
+	return out
+}
+
+// MountMembership serves a static membership table on a shard's Mux (epoch
+// 0: nothing will ever change; clients skip epoch polling).
+func MountMembership(m *rpc.Mux, self int, addrs []string, replicas int) {
+	NewMembershipTable(self, addrs, replicas, 0).Mount(m)
 }
 
 // Members fetches the membership table from any one shard.
@@ -117,7 +166,19 @@ type ShardedContainer struct {
 
 	mu     sync.Mutex
 	shards []*Container // nil at indexes whose shard is killed
-	addrs  []string     // fixed at first boot; restarts re-bind the same address
+	addrs  []string     // placement order; AddShard/DrainShard grow and shrink it
+	// tables[i] is shard i's live membership table; an elastic commit
+	// Sets every one so clients polling any shard learn the new epoch.
+	tables []*MembershipTable
+	// epoch is the committed membership epoch (>= 1 on an elastic plane,
+	// 0 on a replicated one — those planes are static).
+	epoch uint64
+	// rebalancing serializes AddShard/DrainShard: one membership change at
+	// a time, plane-wide.
+	rebalancing bool
+	// retired holds drained shards kept alive so stale clients (cached
+	// locators, in-flight reads) still get answers until ReleaseDrained.
+	retired []*Container
 }
 
 // NewShardedContainer boots every shard, each on its own loopback address.
@@ -179,7 +240,9 @@ func NewShardedContainer(cfg ShardedConfig) (*ShardedContainer, error) {
 			if len(cfg.Addrs) != 0 {
 				addr = cfg.Addrs[i]
 			}
-			c, err := NewContainer(s.containerConfig(i, addr))
+			ccfg := s.containerConfig(i, addr)
+			ccfg.Rebalance = s.rebalanceConfig(i, cfg.Shards)
+			c, err := NewContainer(ccfg)
 			if err != nil {
 				s.Close()
 				return nil, fmt.Errorf("runtime: shard %d: %w", i, err)
@@ -187,11 +250,21 @@ func NewShardedContainer(cfg ShardedConfig) (*ShardedContainer, error) {
 			s.shards[i] = c
 			s.addrs[i] = c.Addr()
 		}
+		// An elastic plane's epoch survives restarts through each shard's
+		// persisted rebalance state; adopt the highest any shard recovered.
+		s.epoch = 1
+		for _, c := range s.shards {
+			if rn := c.Rebalance(); rn != nil && rn.Epoch() > s.epoch {
+				s.epoch = rn.Epoch()
+			}
+		}
 	}
 	// The membership table needs every address, so it mounts after all
 	// shards are listening; mounting is idempotent per Mux.
+	s.tables = make([]*MembershipTable, len(s.shards))
 	for i, c := range s.shards {
-		MountMembership(c.Mux, i, s.addrs, cfg.Replicas)
+		s.tables[i] = NewMembershipTable(i, s.addrs, cfg.Replicas, s.epoch)
+		s.tables[i].Mount(c.Mux)
 	}
 	return s, nil
 }
@@ -217,6 +290,42 @@ func (s *ShardedContainer) replicationConfig(i int, skipBootCheck bool) *Replica
 	return rc
 }
 
+// rebalanceConfig derives shard i's elastic-rebalance wiring (nil when the
+// plane is replicated — R>1 planes reshape through repl, not rebalance).
+func (s *ShardedContainer) rebalanceConfig(i, shards int) *RebalanceConfig {
+	if s.cfg.Replicas > 1 {
+		return nil
+	}
+	rc := &RebalanceConfig{
+		Shard:  i,
+		Shards: shards,
+		Logf:   s.cfg.ReplLogf,
+		OnCommit: func(epoch uint64, addrs []string) {
+			s.publishEpoch(i, epoch, addrs)
+		},
+	}
+	if s.cfg.ReplDialOpts != nil {
+		from, hook := i, s.cfg.ReplDialOpts
+		rc.DialOpts = func(addr string) []rpc.DialOption { return hook(from, addr) }
+	}
+	return rc
+}
+
+// publishEpoch updates shard i's membership table after its rebalance node
+// committed a new epoch (no-op while the shard's table is not mounted yet —
+// a joining shard's table is built from the committed view directly).
+func (s *ShardedContainer) publishEpoch(i int, epoch uint64, addrs []string) {
+	s.mu.Lock()
+	var t *MembershipTable
+	if i < len(s.tables) {
+		t = s.tables[i]
+	}
+	s.mu.Unlock()
+	if t != nil {
+		t.Set(epoch, addrs)
+	}
+}
+
 // containerConfig derives shard i's container configuration.
 func (s *ShardedContainer) containerConfig(i int, addr string) ContainerConfig {
 	cfg := ContainerConfig{
@@ -235,18 +344,35 @@ func (s *ShardedContainer) containerConfig(i int, addr string) ContainerConfig {
 }
 
 // N returns the shard count.
-func (s *ShardedContainer) N() int { return len(s.addrs) }
+func (s *ShardedContainer) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.addrs)
+}
 
 // Addrs returns every shard's rpc address in placement order (the
 // membership table clients must connect with).
 func (s *ShardedContainer) Addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]string(nil), s.addrs...)
 }
 
-// Shard returns shard i's container (nil while that shard is killed).
+// Epoch returns the committed membership epoch (0 on a replicated plane).
+func (s *ShardedContainer) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Shard returns shard i's container (nil while that shard is killed or i is
+// out of the current membership).
 func (s *ShardedContainer) Shard(i int) *Container {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
 	return s.shards[i]
 }
 
@@ -269,23 +395,35 @@ func (s *ShardedContainer) KillShard(i int) error {
 // paper's transient fault model, per shard.
 func (s *ShardedContainer) RestartShard(i int) error {
 	s.mu.Lock()
+	if i < 0 || i >= len(s.shards) {
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: no shard %d in the current membership", i)
+	}
 	running := s.shards[i] != nil
+	addr := s.addrs[i]
+	addrs := append([]string(nil), s.addrs...)
+	epoch := s.epoch
 	s.mu.Unlock()
 	if running {
 		return fmt.Errorf("runtime: shard %d still running", i)
 	}
-	ccfg := s.containerConfig(i, s.addrs[i])
+	ccfg := s.containerConfig(i, addr)
 	// A restarting shard must resolve ownership by probing: a successor may
 	// have been promoted over its ranges while it was down, in which case
 	// it rejoins as a replica instead of serving stale state.
 	ccfg.Replication = s.replicationConfig(i, false)
+	ccfg.Rebalance = s.rebalanceConfig(i, len(addrs))
 	c, err := NewContainer(ccfg)
 	if err != nil {
 		return fmt.Errorf("runtime: restart shard %d: %w", i, err)
 	}
-	MountMembership(c.Mux, i, s.addrs, s.cfg.Replicas)
+	t := NewMembershipTable(i, addrs, s.cfg.Replicas, epoch)
+	t.Mount(c.Mux)
 	s.mu.Lock()
 	s.shards[i] = c
+	if i < len(s.tables) {
+		s.tables[i] = t
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -316,13 +454,190 @@ func (s *ShardedContainer) WaitReplicated(timeout time.Duration) error {
 	return nil
 }
 
+// beginRebalance validates and reserves a plane-wide membership change,
+// returning the current shard list, addresses, and epoch.
+func (s *ShardedContainer) beginRebalance() ([]*Container, []string, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Replicas > 1 {
+		return nil, nil, 0, fmt.Errorf("runtime: replicated planes reshape through repl, not elastic rebalancing")
+	}
+	if s.rebalancing {
+		return nil, nil, 0, fmt.Errorf("runtime: a membership change is already in flight")
+	}
+	for i, c := range s.shards {
+		if c == nil {
+			return nil, nil, 0, fmt.Errorf("runtime: shard %d is down; restart it before reshaping the plane", i)
+		}
+	}
+	s.rebalancing = true
+	return append([]*Container(nil), s.shards...),
+		append([]string(nil), s.addrs...), s.epoch, nil
+}
+
+func (s *ShardedContainer) endRebalance() {
+	s.mu.Lock()
+	s.rebalancing = false
+	s.mu.Unlock()
+}
+
+// AddShard grows the plane by one shard under live traffic: it boots the
+// new container (invisible to clients until commit), stages every source
+// shard's moving key ranges onto it while the sources keep serving, cuts
+// ownership over atomically per shard, then commits the bumped membership
+// epoch everywhere. Returns the new shard's index.
+func (s *ShardedContainer) AddShard() (int, error) {
+	sources, cur, epoch, err := s.beginRebalance()
+	if err != nil {
+		return -1, err
+	}
+	newIdx := len(cur)
+	// The joining shard boots already believing the NEW placement, so
+	// installed rows pass its guard immediately; it is unreachable by
+	// clients until the commit publishes its address.
+	ccfg := s.containerConfig(newIdx, "127.0.0.1:0")
+	ccfg.Rebalance = s.rebalanceConfig(newIdx, newIdx+1)
+	c, err := NewContainer(ccfg)
+	if err != nil {
+		s.endRebalance()
+		return -1, fmt.Errorf("runtime: booting shard %d: %w", newIdx, err)
+	}
+	newAddrs := append(append([]string(nil), cur...), c.Addr())
+	abort := func() {
+		for _, src := range sources {
+			src.Rebalance().Abort()
+		}
+		c.Close()
+		s.endRebalance()
+	}
+	// Stage in parallel: each source streams its moving catalog rows,
+	// scheduler entries and content to the new shard.
+	errs := make([]error, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src *Container) {
+			defer wg.Done()
+			errs[i] = src.Rebalance().Stage(newAddrs)
+		}(i, src)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			abort()
+			return -1, fmt.Errorf("runtime: shard %d stage: %w", i, err)
+		}
+	}
+	for i, src := range sources {
+		if err := src.Rebalance().Cutover(); err != nil {
+			abort()
+			return -1, fmt.Errorf("runtime: shard %d cutover: %w", i, err)
+		}
+	}
+	// Point of no return: every source now refuses its departed ranges.
+	// Commit the bumped epoch everywhere (commit only errors on an epoch
+	// regression, which cannot happen under the rebalancing reservation).
+	epoch++
+	var commitErr error
+	for i, src := range sources {
+		if err := src.Rebalance().Commit(epoch, newAddrs); err != nil && commitErr == nil {
+			commitErr = fmt.Errorf("runtime: shard %d commit: %w", i, err)
+		}
+	}
+	if err := c.Rebalance().Commit(epoch, newAddrs); err != nil && commitErr == nil {
+		commitErr = fmt.Errorf("runtime: shard %d commit: %w", newIdx, err)
+	}
+	t := NewMembershipTable(newIdx, newAddrs, s.cfg.Replicas, epoch)
+	t.Mount(c.Mux)
+	s.mu.Lock()
+	s.addrs = newAddrs
+	s.shards = append(s.shards, c)
+	s.tables = append(s.tables, t)
+	s.epoch = epoch
+	s.rebalancing = false
+	s.mu.Unlock()
+	return newIdx, commitErr
+}
+
+// DrainShard shrinks the plane by retiring the last shard: its rows,
+// scheduler entries and content stream to their new homes among the
+// survivors, ownership cuts over, and the shrunk membership commits at a
+// bumped epoch. The drained container is kept ALIVE (its cached locators
+// and in-flight reads still answer) until ReleaseDrained; its own commit
+// makes it refuse every data operation with the not-owner handoff. Returns
+// the retired shard's former index.
+func (s *ShardedContainer) DrainShard() (int, error) {
+	shards, cur, epoch, err := s.beginRebalance()
+	if err != nil {
+		return -1, err
+	}
+	n := len(cur)
+	if n < 2 {
+		s.endRebalance()
+		return -1, fmt.Errorf("runtime: cannot drain the last shard")
+	}
+	last := shards[n-1]
+	newAddrs := append([]string(nil), cur[:n-1]...)
+	rn := last.Rebalance()
+	if err := rn.Stage(newAddrs); err != nil {
+		rn.Abort()
+		s.endRebalance()
+		return -1, fmt.Errorf("runtime: shard %d stage: %w", n-1, err)
+	}
+	if err := rn.Cutover(); err != nil {
+		rn.Abort()
+		s.endRebalance()
+		return -1, fmt.Errorf("runtime: shard %d cutover: %w", n-1, err)
+	}
+	epoch++
+	var commitErr error
+	for i := 0; i < n-1; i++ {
+		if err := shards[i].Rebalance().Commit(epoch, newAddrs); err != nil && commitErr == nil {
+			commitErr = fmt.Errorf("runtime: shard %d commit: %w", i, err)
+		}
+	}
+	// The drained shard commits last: from here it refuses everything and
+	// garbage-collects its rows, while its membership table now points
+	// lingering clients at the survivors.
+	if err := rn.Commit(epoch, newAddrs); err != nil && commitErr == nil {
+		commitErr = fmt.Errorf("runtime: shard %d commit: %w", n-1, err)
+	}
+	s.mu.Lock()
+	s.addrs = newAddrs
+	s.shards = s.shards[:n-1]
+	s.tables = s.tables[:n-1]
+	s.retired = append(s.retired, last)
+	s.epoch = epoch
+	s.rebalancing = false
+	s.mu.Unlock()
+	return n - 1, commitErr
+}
+
+// ReleaseDrained closes every container retired by DrainShard, once all
+// clients have converged on the shrunk membership.
+func (s *ShardedContainer) ReleaseDrained() error {
+	s.mu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.mu.Unlock()
+	var first error
+	for _, c := range retired {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Close stops every live shard, returning the first error.
 func (s *ShardedContainer) Close() error {
 	s.mu.Lock()
 	shards := append([]*Container(nil), s.shards...)
+	shards = append(shards, s.retired...)
 	for i := range s.shards {
 		s.shards[i] = nil
 	}
+	s.retired = nil
 	s.mu.Unlock()
 	var first error
 	for _, c := range shards {
